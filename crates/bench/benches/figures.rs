@@ -1,0 +1,173 @@
+//! One Criterion bench target per paper table/figure: each benchmark
+//! regenerates a figure's data from a pre-simulated trace, so `cargo
+//! bench` both times the analyses and re-derives every result.
+//!
+//! The traces are simulated once, outside the timing loops, on small
+//! calibrated presets; the full-scale reproduction lives in the `report`
+//! binary (`cargo run --release -p hpcpower-bench --bin report`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hpcpower::prediction::PredictionConfig;
+use hpcpower::prelude::*;
+use hpcpower_sim::{simulate, SimConfig};
+use hpcpower_trace::TraceDataset;
+
+fn emmy() -> TraceDataset {
+    simulate(SimConfig::emmy_small(20200518))
+}
+
+fn meggie() -> TraceDataset {
+    simulate(SimConfig::meggie_small(20200518))
+}
+
+fn bench_fig01_02_utilization(c: &mut Criterion) {
+    let d = emmy();
+    c.bench_function("fig01_system_utilization", |b| {
+        b.iter(|| {
+            let a = system_level::analyze(black_box(&d));
+            black_box((a.utilization.mean, a.power.mean, a.stranded_fraction))
+        })
+    });
+    c.bench_function("fig02_power_series", |b| {
+        b.iter(|| black_box(system_level::power_series(black_box(&d), 60)))
+    });
+}
+
+fn bench_fig03_power_pdf(c: &mut Criterion) {
+    let d = emmy();
+    c.bench_function("fig03_power_pdf", |b| {
+        b.iter(|| black_box(job_level::power_pdf(black_box(&d), 40).unwrap()))
+    });
+}
+
+fn bench_fig04_app_comparison(c: &mut Criterion) {
+    let e = emmy();
+    let m = meggie();
+    c.bench_function("fig04_app_comparison", |b| {
+        b.iter(|| {
+            let rows_e = job_level::app_power_table(black_box(&e), Some(&report::MAJOR_APPS));
+            let rows_m = job_level::app_power_table(black_box(&m), Some(&report::MAJOR_APPS));
+            black_box((rows_e, rows_m))
+        })
+    });
+}
+
+fn bench_table02_correlations(c: &mut Criterion) {
+    let d = emmy();
+    c.bench_function("table02_spearman_correlations", |b| {
+        b.iter(|| black_box(job_level::correlation_table(black_box(&d)).unwrap()))
+    });
+}
+
+fn bench_fig05_splits(c: &mut Criterion) {
+    let d = emmy();
+    c.bench_function("fig05_split_analysis", |b| {
+        b.iter(|| black_box(job_level::split_analysis(black_box(&d)).unwrap()))
+    });
+}
+
+fn bench_fig07_temporal(c: &mut Criterion) {
+    let d = emmy();
+    c.bench_function("fig07_temporal_analysis", |b| {
+        b.iter(|| black_box(temporal::analyze(black_box(&d)).unwrap()))
+    });
+    // Fig. 6 is the metric definition; exercise it on a real series.
+    let series = d.instrumented.first().expect("instrumented jobs").clone();
+    c.bench_function("fig06_metrics_from_series", |b| {
+        b.iter(|| black_box(temporal::metrics_from_series(black_box(&series))))
+    });
+}
+
+fn bench_fig09_10_spatial(c: &mut Criterion) {
+    let d = emmy();
+    c.bench_function("fig09_spatial_analysis", |b| {
+        b.iter(|| black_box(spatial::analyze(black_box(&d)).unwrap()))
+    });
+    let series = d.instrumented.first().expect("instrumented jobs").clone();
+    c.bench_function("fig08_spread_from_series", |b| {
+        b.iter(|| black_box(spatial::metrics_from_series(black_box(&series))))
+    });
+    c.bench_function("fig10_energy_imbalance", |b| {
+        b.iter(|| {
+            let a = spatial::analyze(black_box(&d)).unwrap();
+            black_box(a.frac_imbalance_above_15pct)
+        })
+    });
+}
+
+fn bench_fig11_users(c: &mut Criterion) {
+    let d = emmy();
+    c.bench_function("fig11_user_concentration", |b| {
+        b.iter(|| black_box(user_level::concentration(black_box(&d)).unwrap()))
+    });
+}
+
+fn bench_fig12_user_cv(c: &mut Criterion) {
+    let d = emmy();
+    c.bench_function("fig12_user_variability", |b| {
+        b.iter(|| black_box(user_level::user_variability(black_box(&d), 3).unwrap()))
+    });
+}
+
+fn bench_fig13_clusters(c: &mut Criterion) {
+    let d = emmy();
+    c.bench_function("fig13_cluster_tightness", |b| {
+        b.iter(|| {
+            let n = user_level::cluster_tightness(black_box(&d), user_level::ClusterBy::Nodes, 2)
+                .unwrap();
+            let w =
+                user_level::cluster_tightness(black_box(&d), user_level::ClusterBy::Walltime, 2)
+                    .unwrap();
+            black_box((n, w))
+        })
+    });
+}
+
+fn bench_fig14_15_prediction(c: &mut Criterion) {
+    let d = emmy();
+    let cfg = PredictionConfig {
+        n_splits: 2,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("fig14_15_prediction");
+    group.sample_size(10);
+    group.bench_function("three_models_two_splits", |b| {
+        b.iter(|| black_box(prediction::analyze(black_box(&d), &cfg).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_powercap_extension(c: &mut Criterion) {
+    let d = emmy();
+    let cfg = PredictionConfig {
+        n_splits: 2,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("ext_powercap");
+    group.sample_size(10);
+    group.bench_function("margin_sweep", |b| {
+        b.iter(|| {
+            black_box(powercap::analyze(black_box(&d), &powercap::default_margins(), &cfg).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig01_02_utilization,
+    bench_fig03_power_pdf,
+    bench_fig04_app_comparison,
+    bench_table02_correlations,
+    bench_fig05_splits,
+    bench_fig07_temporal,
+    bench_fig09_10_spatial,
+    bench_fig11_users,
+    bench_fig12_user_cv,
+    bench_fig13_clusters,
+    bench_fig14_15_prediction,
+    bench_powercap_extension,
+);
+criterion_main!(figures);

@@ -1,0 +1,101 @@
+//! Substrate throughput benchmarks: the simulator's hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use hpcpower_sim::power::{JobPowerParams, PowerModel, PowerModelConfig};
+use hpcpower_sim::{generate_arrivals, generate_population, schedule, simulate, SimConfig};
+use hpcpower_stats::rng::SplitMix64;
+
+fn bench_power_sampling(c: &mut Criterion) {
+    let model = PowerModel::new(PowerModelConfig::default(), 7);
+    let params = JobPowerParams {
+        key: 42,
+        base_w: 150.0,
+        imbalance_sigma: 0.04,
+        spike_frac: 0.2,
+        spike_amp: 0.18,
+        dip_frac: 0.1,
+        dip_amp: 0.3,
+    };
+    let mut group = c.benchmark_group("power_model");
+    group.throughput(Throughput::Elements(16 * 1024));
+    group.bench_function("sample_16k_node_minutes", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for rank in 0..16u32 {
+                for t in 0..1024u64 {
+                    acc += model.sample(black_box(&params), rank * 7 % 64, rank, t);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    // A realistic saturated workload of 5000 requests on 128 nodes.
+    let cfg = SimConfig::emmy(3).scaled_down(128, 14 * 1440, 60);
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut pop_rng = rng.fork(1);
+    let mut arrival_rng = rng.fork(2);
+    let users = generate_population(
+        &cfg.population,
+        &hpcpower_sim::standard_catalog(),
+        cfg.arch,
+        &mut pop_rng,
+    );
+    let requests = generate_arrivals(
+        &users,
+        &cfg.arrivals,
+        cfg.system.nodes,
+        cfg.horizon_min,
+        &mut arrival_rng,
+    );
+    let mut group = c.benchmark_group("scheduler");
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    group.sample_size(20);
+    group.bench_function("easy_backfill", |b| {
+        b.iter(|| black_box(schedule(black_box(&requests), cfg.system.nodes)))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("simulate_small_emmy", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(simulate(SimConfig::emmy_small(seed)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_population(c: &mut Criterion) {
+    let cfg = SimConfig::emmy(5);
+    let catalog = hpcpower_sim::standard_catalog();
+    c.bench_function("generate_population_220_users", |b| {
+        b.iter(|| {
+            let mut rng = SplitMix64::new(9);
+            black_box(generate_population(
+                black_box(&cfg.population),
+                &catalog,
+                cfg.arch,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    simulator,
+    bench_power_sampling,
+    bench_scheduler,
+    bench_end_to_end,
+    bench_population,
+);
+criterion_main!(simulator);

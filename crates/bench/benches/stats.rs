@@ -1,0 +1,134 @@
+//! Statistics-substrate microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use hpcpower_stats::online::{SpatialSpreadTracker, TimeAboveMeanTracker};
+use hpcpower_stats::rng::{AliasTable, CounterRng, SplitMix64};
+use hpcpower_stats::{correlation, Ecdf, Histogram, Lorenz, Summary};
+
+fn data(n: usize) -> Vec<f64> {
+    let mut rng = SplitMix64::new(1);
+    (0..n).map(|_| 100.0 + rng.next_normal() * 25.0).collect()
+}
+
+fn bench_summary(c: &mut Criterion) {
+    let values = data(100_000);
+    let mut group = c.benchmark_group("summary");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("welford_100k", |b| {
+        b.iter(|| black_box(Summary::from_slice(black_box(&values))))
+    });
+    group.finish();
+}
+
+fn bench_spearman(c: &mut Criterion) {
+    let x = data(50_000);
+    let mut rng = SplitMix64::new(2);
+    let y: Vec<f64> = x.iter().map(|&v| v + rng.next_normal() * 10.0).collect();
+    let mut group = c.benchmark_group("correlation");
+    group.throughput(Throughput::Elements(x.len() as u64));
+    group.bench_function("spearman_50k", |b| {
+        b.iter(|| black_box(correlation::spearman(black_box(&x), black_box(&y)).unwrap()))
+    });
+    group.bench_function("pearson_50k", |b| {
+        b.iter(|| black_box(correlation::pearson(black_box(&x), black_box(&y)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let values = data(100_000);
+    c.bench_function("histogram_100k", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new(0.0, 250.0, 50).unwrap();
+            for &v in &values {
+                h.push(v);
+            }
+            black_box(h.density())
+        })
+    });
+    c.bench_function("ecdf_build_100k", |b| {
+        b.iter(|| black_box(Ecdf::new(black_box(&values)).unwrap()))
+    });
+    let positive: Vec<f64> = values.iter().map(|v| v.abs() + 1.0).collect();
+    c.bench_function("lorenz_100k", |b| {
+        b.iter(|| {
+            let l = Lorenz::new(black_box(&positive)).unwrap();
+            black_box((l.top_share(0.2), l.gini()))
+        })
+    });
+}
+
+fn bench_online_trackers(c: &mut Criterion) {
+    let values = data(50_000);
+    let mut group = c.benchmark_group("online");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("time_above_mean_50k", |b| {
+        b.iter(|| {
+            let mut t = TimeAboveMeanTracker::new(250.0, 0.1);
+            for &v in &values {
+                t.push(v);
+            }
+            black_box((t.fraction_above_mean_factor(1.1), t.peak_overshoot()))
+        })
+    });
+    group.bench_function("spatial_spread_50k", |b| {
+        b.iter(|| {
+            let mut t = SpatialSpreadTracker::new(250.0, 0.1);
+            for &v in &values {
+                t.push(v * 0.1);
+            }
+            black_box(t.fraction_above_average())
+        })
+    });
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1 << 16));
+    group.bench_function("splitmix_normal_64k", |b| {
+        let mut rng = SplitMix64::new(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..(1 << 16) {
+                acc += rng.next_normal();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("counter_normal_64k", |b| {
+        let rng = CounterRng::new(4);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..(1u64 << 16) {
+                acc += rng.normal_at(i);
+            }
+            black_box(acc)
+        })
+    });
+    let weights: Vec<f64> = (1..=256).map(|i| 1.0 / i as f64).collect();
+    let table = AliasTable::new(&weights).unwrap();
+    group.bench_function("alias_sample_64k", |b| {
+        let mut rng = SplitMix64::new(5);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..(1 << 16) {
+                acc += table.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    stats,
+    bench_summary,
+    bench_spearman,
+    bench_distributions,
+    bench_online_trackers,
+    bench_rng,
+);
+criterion_main!(stats);

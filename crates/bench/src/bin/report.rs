@@ -1,0 +1,65 @@
+//! Full reproduction harness: simulates both systems and renders every
+//! table and figure of the paper with the published values alongside.
+//!
+//! ```text
+//! cargo run --release -p hpcpower-bench --bin report            # full scale (5 months, 560+728 nodes)
+//! cargo run --release -p hpcpower-bench --bin report -- --small # scaled-down smoke run
+//! cargo run --release -p hpcpower-bench --bin report -- --seed 7
+//! ```
+
+use hpcpower::prediction::PredictionConfig;
+use hpcpower::report;
+use hpcpower_sim::{simulate, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let medium = args.iter().any(|a| a == "--medium");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20200518u64); // IPDPS 2020 week
+
+    let (emmy_cfg, meggie_cfg) = if small {
+        (SimConfig::emmy_small(seed), SimConfig::meggie_small(seed))
+    } else if medium {
+        (
+            SimConfig::emmy(seed).scaled_down(160, 45 * 1440, 120),
+            SimConfig::meggie(seed).scaled_down(200, 45 * 1440, 80),
+        )
+    } else {
+        (SimConfig::emmy(seed), SimConfig::meggie(seed))
+    };
+
+    eprintln!(
+        "simulating {} ({} nodes, {} days)...",
+        emmy_cfg.system.name,
+        emmy_cfg.system.nodes,
+        emmy_cfg.horizon_min / 1440
+    );
+    let t0 = std::time::Instant::now();
+    let emmy = simulate(emmy_cfg);
+    eprintln!(
+        "  -> {} jobs in {:.1}s",
+        emmy.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    eprintln!(
+        "simulating {} ({} nodes, {} days)...",
+        meggie_cfg.system.name,
+        meggie_cfg.system.nodes,
+        meggie_cfg.horizon_min / 1440
+    );
+    let t1 = std::time::Instant::now();
+    let meggie = simulate(meggie_cfg);
+    eprintln!(
+        "  -> {} jobs in {:.1}s",
+        meggie.len(),
+        t1.elapsed().as_secs_f64()
+    );
+
+    let cfg = PredictionConfig::default();
+    println!("{}", report::render_pair(&emmy, &meggie, &cfg));
+}

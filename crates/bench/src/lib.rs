@@ -1,0 +1,2 @@
+//! Benchmark and figure-reproduction harness for the HPC power suite.
+//! See `src/bin/report.rs` and the `benches/` directory.

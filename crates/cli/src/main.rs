@@ -1,0 +1,206 @@
+//! `hpcpower` — the command-line front end of the HPC power suite.
+//!
+//! ```text
+//! hpcpower simulate --system emmy --seed 7 --out traces/emmy
+//! hpcpower analyze  --data traces/emmy/dataset.json
+//! hpcpower compare  --a traces/emmy/dataset.json --b traces/meggie/dataset.json
+//! hpcpower predict  --data traces/emmy/dataset.json --user 3 --nodes 8 --walltime-h 6
+//! hpcpower powercap --data traces/emmy/dataset.json
+//! ```
+//!
+//! Run `hpcpower help` for the full surface.
+
+mod args;
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+use args::Args;
+use hpcpower::prediction::{self, PredictionConfig};
+use hpcpower::report;
+use hpcpower_ml::{DecisionTree, Regressor, TreeConfig};
+use hpcpower_sim::{simulate, SimConfig};
+use hpcpower_trace::{csv, json, swf, validate, TraceDataset};
+
+const HELP: &str = "\
+hpcpower — HPC job power characterization & prediction
+
+USAGE: hpcpower <command> [flags]
+
+COMMANDS:
+  simulate   Generate a calibrated cluster trace and write it to disk
+             --system emmy|meggie   (default emmy)
+             --seed N               (default 1)
+             --nodes N --days D --users U   scale the preset down
+             --out DIR              (default ./trace-<system>)
+             --swf                  also export Standard Workload Format
+  analyze    Run every analysis of the paper on a dataset
+             --data PATH            dataset.json (from `simulate`)
+             --splits N             prediction splits (default 5)
+             --json                 emit machine-readable figure data
+  compare    Two-system report including the Fig. 4 app comparison
+             --a PATH --b PATH
+  predict    Train the BDT on a dataset and predict one submission
+             --data PATH --user U --nodes N --walltime-h H
+  powercap   Static power-cap what-if sweep
+             --data PATH
+  help       Show this text
+";
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `hpcpower help` for usage");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> TraceDataset {
+    let dataset = json::load_dataset(Path::new(path))
+        .unwrap_or_else(|e| fail(format!("cannot load {path}: {e}")));
+    validate::validate(&dataset).unwrap_or_else(|e| fail(format!("{path} is invalid: {e}")));
+    dataset
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let system = args.get("system").unwrap_or("emmy");
+    let seed: u64 = args.get_or("seed", 1)?;
+    let mut cfg = match system {
+        "emmy" => SimConfig::emmy(seed),
+        "meggie" => SimConfig::meggie(seed),
+        other => return Err(format!("unknown system {other:?} (emmy|meggie)")),
+    };
+    if args.has("nodes") || args.has("days") || args.has("users") {
+        // Unspecified dimensions keep the preset's full-scale value, so
+        // `--nodes 100` alone does not silently shrink the horizon too.
+        let nodes: u32 = args.get_or("nodes", cfg.system.nodes)?;
+        let days: u64 = args.get_or("days", cfg.horizon_min / 1440)?;
+        let users: usize = args.get_or("users", cfg.population.n_users)?;
+        cfg = cfg.scaled_down(nodes, days * 1440, users);
+    }
+    let out: PathBuf = args
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("trace-{system}")));
+    eprintln!(
+        "simulating {} ({} nodes, {} days, seed {seed})...",
+        cfg.system.name,
+        cfg.system.nodes,
+        cfg.horizon_min / 1440
+    );
+    let dataset = simulate(cfg);
+    validate::validate(&dataset).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    {
+        let mut jobs = BufWriter::new(
+            File::create(out.join("jobs.csv")).map_err(|e| e.to_string())?,
+        );
+        csv::write_jobs(&mut jobs, &dataset.jobs, &dataset.summaries)
+            .map_err(|e| e.to_string())?;
+        let mut sys = BufWriter::new(
+            File::create(out.join("system.csv")).map_err(|e| e.to_string())?,
+        );
+        csv::write_system(&mut sys, &dataset.system_series).map_err(|e| e.to_string())?;
+        json::save_dataset(&out.join("dataset.json"), &dataset).map_err(|e| e.to_string())?;
+        if args.has("swf") {
+            let mut w = BufWriter::new(
+                File::create(out.join("workload.swf")).map_err(|e| e.to_string())?,
+            );
+            swf::write_swf(&mut w, &dataset).map_err(|e| e.to_string())?;
+        }
+    }
+    println!(
+        "{}: {} jobs, {} instrumented series -> {}",
+        dataset.system.name,
+        dataset.len(),
+        dataset.instrumented.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let path = args.get("data").ok_or("missing --data PATH")?;
+    let splits: usize = args.get_or("splits", 5)?;
+    let dataset = load(path);
+    let cfg = PredictionConfig {
+        n_splits: splits,
+        ..Default::default()
+    };
+    if args.has("json") {
+        let full = hpcpower::json_report::build(&dataset, &cfg);
+        let text = serde_json::to_string_pretty(&full).map_err(|e| e.to_string())?;
+        println!("{text}");
+    } else {
+        print!("{}", report::render_full(&dataset, &cfg));
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let a = load(args.get("a").ok_or("missing --a PATH")?);
+    let b = load(args.get("b").ok_or("missing --b PATH")?);
+    let cfg = PredictionConfig {
+        n_splits: args.get_or("splits", 3)?,
+        ..Default::default()
+    };
+    print!("{}", report::render_pair(&a, &b, &cfg));
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let dataset = load(args.get("data").ok_or("missing --data PATH")?);
+    let user: u32 = args.get_parsed("user")?.ok_or("missing --user U")?;
+    let nodes: f64 = args.get_parsed("nodes")?.ok_or("missing --nodes N")?;
+    let walltime_h: f64 = args
+        .get_parsed("walltime-h")?
+        .ok_or("missing --walltime-h H")?;
+    let data = prediction::build_ml_dataset(&dataset);
+    let model =
+        DecisionTree::fit(&data, TreeConfig::default()).map_err(|e| e.to_string())?;
+    let w = model.predict(user, nodes, walltime_h * 60.0);
+    println!(
+        "predicted per-node power: {w:.1} W  ({:.0}% of the {} W node TDP)",
+        100.0 * w / dataset.system.node_tdp_w,
+        dataset.system.node_tdp_w
+    );
+    let cap = (w * 1.15).min(dataset.system.node_tdp_w);
+    println!("suggested static cap (+15% margin, per the paper): {cap:.0} W/node");
+    Ok(())
+}
+
+fn cmd_powercap(args: &Args) -> Result<(), String> {
+    let dataset = load(args.get("data").ok_or("missing --data PATH")?);
+    let cfg = PredictionConfig {
+        n_splits: 3,
+        ..Default::default()
+    };
+    print!("{}", report::render_powercap(&dataset, &cfg));
+    Ok(())
+}
+
+/// Quick structural check that a jobs.csv is readable (used by --check).
+#[allow(dead_code)]
+fn check_csv(path: &Path) -> Result<usize, String> {
+    let file = File::open(path).map_err(|e| e.to_string())?;
+    let (jobs, _) = csv::read_jobs(BufReader::new(file)).map_err(|e| e.to_string())?;
+    Ok(jobs.len())
+}
+
+fn main() {
+    let args = Args::from_env().unwrap_or_else(|e| fail(e));
+    let result = match args.command.as_deref() {
+        Some("simulate") => cmd_simulate(&args),
+        Some("analyze") => cmd_analyze(&args),
+        Some("compare") => cmd_compare(&args),
+        Some("predict") => cmd_predict(&args),
+        Some("powercap") => cmd_powercap(&args),
+        Some("help") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    };
+    if let Err(e) = result {
+        fail(e);
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared output types for figure data.
+//!
+//! Every analysis returns plain serializable structs: `(x, y)` series for
+//! curves, [`MeanStd`] for bar-with-errorbar panels (Fig. 5 style), and
+//! [`CdfStats`] summarizing a CDF the way the paper quotes them ("on
+//! average X%", "80% of jobs below Y").
+
+use hpcpower_stats::Ecdf;
+use serde::{Deserialize, Serialize};
+
+/// A labelled `(x, y)` series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Mean with standard deviation (the paper's yellow-dot-plus-errorbar).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl MeanStd {
+    /// Computes mean/std over values.
+    pub fn from_values(values: &[f64]) -> Self {
+        let s = hpcpower_stats::Summary::from_slice(values);
+        Self {
+            mean: s.mean(),
+            std_dev: if s.count() > 1 { s.std_dev() } else { 0.0 },
+            n: s.count() as usize,
+        }
+    }
+}
+
+/// Headline statistics of a CDF, in the form the paper quotes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdfStats {
+    /// Mean of the underlying sample.
+    pub mean: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 80th percentile.
+    pub p80: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl CdfStats {
+    /// Summarizes an ECDF.
+    pub fn from_ecdf(e: &Ecdf) -> Self {
+        Self {
+            mean: e.mean(),
+            median: e.quantile(0.5).unwrap_or(f64::NAN),
+            p80: e.quantile(0.8).unwrap_or(f64::NAN),
+            p90: e.quantile(0.9).unwrap_or(f64::NAN),
+            max: e.max(),
+            n: e.len(),
+        }
+    }
+}
+
+/// A CDF payload: the stats plus a plottable grid series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CdfFigure {
+    /// Headline statistics.
+    pub stats: CdfStats,
+    /// `(value, cumulative fraction)` series on a uniform grid.
+    pub series: Vec<(f64, f64)>,
+}
+
+impl CdfFigure {
+    /// Builds from raw sample values.
+    pub fn from_values(values: &[f64], grid_points: usize) -> Option<Self> {
+        let e = Ecdf::new(values).ok()?;
+        Some(Self {
+            stats: CdfStats::from_ecdf(&e),
+            series: e.series_grid(grid_points),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basic() {
+        let m = MeanStd::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.mean, 2.0);
+        assert_eq!(m.n, 3);
+        assert!((m.std_dev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_single_value() {
+        let m = MeanStd::from_values(&[5.0]);
+        assert_eq!(m.std_dev, 0.0);
+    }
+
+    #[test]
+    fn cdf_stats_from_uniform() {
+        let values: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let fig = CdfFigure::from_values(&values, 11).unwrap();
+        assert_eq!(fig.stats.median, 50.0);
+        assert_eq!(fig.stats.p90, 90.0);
+        assert_eq!(fig.stats.max, 100.0);
+        assert_eq!(fig.series.len(), 11);
+    }
+
+    #[test]
+    fn cdf_from_empty_is_none() {
+        assert!(CdfFigure::from_values(&[], 10).is_none());
+    }
+}

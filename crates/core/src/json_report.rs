@@ -1,0 +1,120 @@
+//! Machine-readable report: every figure's data as one JSON document.
+//!
+//! The text report (`report`) is for terminals; this module serializes
+//! the same analyses as structured JSON so external plotting tools can
+//! regenerate the paper's figures graphically.
+
+use serde::{Deserialize, Serialize};
+
+use hpcpower_trace::TraceDataset;
+
+use crate::prediction::PredictionConfig;
+use crate::{
+    job_level, powercap, prediction, pricing, spatial, system_level, temporal, user_level,
+};
+
+/// All analyses of one system, serializable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FullReport {
+    /// System name.
+    pub system: String,
+    /// Number of jobs analyzed.
+    pub jobs: usize,
+    /// Figs. 1-2.
+    pub system_level: system_level::SystemAnalysis,
+    /// Fig. 3.
+    pub power_pdf: Option<job_level::PowerPdf>,
+    /// Fig. 4 input (all applications present).
+    pub app_power: Vec<job_level::AppPowerRow>,
+    /// Table 2.
+    pub correlations: Option<job_level::CorrelationTable>,
+    /// Fig. 5.
+    pub splits: Option<job_level::SplitAnalysis>,
+    /// Fig. 7.
+    pub temporal: Option<temporal::TemporalAnalysis>,
+    /// Per-application temporal profiles.
+    pub temporal_by_app: Vec<temporal::AppTemporalRow>,
+    /// Figs. 9-10.
+    pub spatial: Option<spatial::SpatialAnalysis>,
+    /// Per-application spatial profiles.
+    pub spatial_by_app: Vec<spatial::AppSpatialRow>,
+    /// Fig. 11.
+    pub concentration: Option<user_level::UserConcentration>,
+    /// Fig. 12.
+    pub user_variability: Option<user_level::UserVariability>,
+    /// Fig. 13 (by nodes, by walltime).
+    pub cluster_tightness: Vec<user_level::ClusterTightness>,
+    /// Figs. 14-15.
+    pub prediction: Option<prediction::PredictionAnalysis>,
+    /// Power-cap extension.
+    pub powercap: Option<powercap::PowerCapAnalysis>,
+    /// Pricing extension.
+    pub pricing: Option<pricing::PricingAnalysis>,
+}
+
+/// Runs every analysis and collects the results. Analyses that cannot
+/// run on the dataset (too few jobs, no multi-node jobs, ...) are `None`
+/// rather than errors, so a partial dataset still yields a report.
+pub fn build(dataset: &TraceDataset, cfg: &PredictionConfig) -> FullReport {
+    FullReport {
+        system: dataset.system.name.clone(),
+        jobs: dataset.len(),
+        system_level: system_level::analyze(dataset),
+        power_pdf: job_level::power_pdf(dataset, 40).ok(),
+        app_power: job_level::app_power_table(dataset, None),
+        correlations: job_level::correlation_table(dataset).ok(),
+        splits: job_level::split_analysis(dataset).ok(),
+        temporal: temporal::analyze(dataset).ok(),
+        temporal_by_app: temporal::by_app(dataset, 20),
+        spatial: spatial::analyze(dataset).ok(),
+        spatial_by_app: spatial::by_app(dataset, 20),
+        concentration: user_level::concentration(dataset).ok(),
+        user_variability: user_level::user_variability(dataset, 3).ok(),
+        cluster_tightness: [user_level::ClusterBy::Nodes, user_level::ClusterBy::Walltime]
+            .into_iter()
+            .filter_map(|by| user_level::cluster_tightness(dataset, by, 2).ok())
+            .collect(),
+        prediction: prediction::analyze(dataset, cfg).ok(),
+        powercap: powercap::analyze(dataset, &powercap::default_margins(), cfg).ok(),
+        pricing: pricing::analyze(dataset).ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcpower_sim::SimConfig;
+
+    #[test]
+    fn full_report_serializes_and_round_trips() {
+        let dataset = hpcpower_sim::simulate(SimConfig::emmy_small(2));
+        let cfg = PredictionConfig {
+            n_splits: 2,
+            ..Default::default()
+        };
+        let report = build(&dataset, &cfg);
+        assert!(report.power_pdf.is_some());
+        assert!(report.prediction.is_some());
+        assert!(!report.app_power.is_empty());
+        let json = serde_json::to_string(&report).expect("serializes");
+        let back: FullReport = serde_json::from_str(&json).expect("round trips");
+        assert_eq!(back.system, report.system);
+        assert_eq!(back.jobs, report.jobs);
+        assert_eq!(
+            back.power_pdf.as_ref().unwrap().mean_w,
+            report.power_pdf.as_ref().unwrap().mean_w
+        );
+    }
+
+    #[test]
+    fn partial_dataset_yields_partial_report() {
+        // A dataset with too few jobs for prediction still reports the
+        // basic figures.
+        let mut dataset = hpcpower_sim::simulate(SimConfig::emmy_small(3));
+        dataset.jobs.truncate(20);
+        dataset.summaries.truncate(20);
+        let report = build(&dataset, &PredictionConfig::default());
+        assert!(report.power_pdf.is_some());
+        assert!(report.prediction.is_none(), "50-job minimum not met");
+    }
+}

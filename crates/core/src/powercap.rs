@@ -1,0 +1,212 @@
+//! Static power-capping & overprovisioning what-if (Discussion section).
+//!
+//! The paper's closing recommendation: *"system administrators can apply
+//! the power cap at a level which is higher than 15% of the predicted
+//! value of the per-node power consumption ... a carefully chosen static
+//! power-cap based on an accurate prediction can prove to be a
+//! low-overhead and effective power regulation strategy."*
+//!
+//! This module quantifies that proposal on a trace: for a sweep of cap
+//! margins it trains the BDT predictor, assigns each job a static cap of
+//! `prediction × (1 + margin)`, and reports
+//!
+//! * the **violation rate** — jobs whose observed peak power exceeds
+//!   their cap (a proxy for performance-degradation risk, since RAPL
+//!   would throttle those phases), and
+//! * the **provisioned-power saving** — how much less power must be
+//!   reserved per node-minute compared to TDP-level worst-case
+//!   provisioning, i.e. how much stranded power the facility recovers.
+
+use hpcpower_ml::{DecisionTree, Regressor};
+use hpcpower_trace::TraceDataset;
+use serde::{Deserialize, Serialize};
+
+use crate::prediction::{build_ml_dataset, PredictionConfig};
+use crate::{AnalysisError, Result};
+
+/// Outcome of one cap margin in the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapOutcome {
+    /// Cap margin above the predicted per-node power (0.15 = +15%).
+    pub margin: f64,
+    /// Fraction of jobs whose peak power exceeds their cap.
+    pub violation_rate: f64,
+    /// Node-minute-weighted fraction of jobs' time spent above the cap
+    /// (upper bound from the summaries' time-above-mean statistics).
+    pub mean_violating_job_overshoot: f64,
+    /// Mean provisioned power per node under the caps, in watts.
+    pub mean_cap_w: f64,
+    /// Provisioned-power saving vs TDP provisioning (fraction of TDP).
+    pub provisioned_saving: f64,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerCapAnalysis {
+    /// One outcome per margin, in input order.
+    pub outcomes: Vec<CapOutcome>,
+    /// Extra nodes the recovered power could host under the paper's
+    /// overprovisioning argument, at the recommended +15% margin:
+    /// `floor(nodes × TDP / mean_cap) - nodes`.
+    pub extra_nodes_at_15pct: i64,
+    /// Jobs analyzed.
+    pub jobs: usize,
+}
+
+/// Runs the cap sweep. Caps are derived from a BDT trained on an 80%
+/// split and applied to the full trace (production would retrain
+/// continuously; this is the static approximation the paper argues for).
+pub fn analyze(
+    dataset: &TraceDataset,
+    margins: &[f64],
+    cfg: &PredictionConfig,
+) -> Result<PowerCapAnalysis> {
+    let data = build_ml_dataset(dataset);
+    if data.len() < 50 {
+        return Err(AnalysisError::InsufficientData("too few jobs".into()));
+    }
+    let (train_idx, _) = data.split_user_covered(0.2, cfg.seed);
+    let train = data.select(&train_idx);
+    let model = DecisionTree::fit(&train, cfg.tree).map_err(AnalysisError::Ml)?;
+
+    let tdp = dataset.system.node_tdp_w;
+    let mut outcomes = Vec::with_capacity(margins.len());
+    for &margin in margins {
+        let mut violations = 0usize;
+        let mut overshoot_sum = 0.0;
+        let mut cap_sum = 0.0;
+        for (job, s) in dataset.iter_jobs() {
+            let predicted = model.predict(job.user.0, job.nodes as f64, job.walltime_req_min as f64);
+            let cap = (predicted * (1.0 + margin)).min(tdp);
+            let peak = s.per_node_power_w * (1.0 + s.peak_overshoot);
+            if peak > cap {
+                violations += 1;
+                overshoot_sum += (peak - cap) / cap;
+            }
+            cap_sum += cap;
+        }
+        let n = dataset.len() as f64;
+        let mean_cap = cap_sum / n;
+        outcomes.push(CapOutcome {
+            margin,
+            violation_rate: violations as f64 / n,
+            mean_violating_job_overshoot: if violations > 0 {
+                overshoot_sum / violations as f64
+            } else {
+                0.0
+            },
+            mean_cap_w: mean_cap,
+            provisioned_saving: 1.0 - mean_cap / tdp,
+        });
+    }
+    // Overprovisioning head-room at the recommended margin.
+    let at_15 = outcomes
+        .iter()
+        .min_by(|a, b| {
+            (a.margin - 0.15)
+                .abs()
+                .partial_cmp(&(b.margin - 0.15).abs())
+                .expect("finite margins")
+        })
+        .ok_or_else(|| AnalysisError::InsufficientData("empty margin sweep".into()))?;
+    let nodes = dataset.system.nodes as f64;
+    let extra = ((nodes * tdp) / at_15.mean_cap_w).floor() as i64 - nodes as i64;
+    Ok(PowerCapAnalysis {
+        outcomes,
+        extra_nodes_at_15pct: extra,
+        jobs: dataset.len(),
+    })
+}
+
+/// The margin sweep the report uses.
+pub fn default_margins() -> Vec<f64> {
+    vec![0.0, 0.05, 0.10, 0.15, 0.20, 0.30]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcpower_trace::{AppId, JobId, JobPowerSummary, JobRecord, SystemSpec, UserId};
+
+    fn dataset() -> TraceDataset {
+        let mut jobs = Vec::new();
+        let mut summaries = Vec::new();
+        for user in 0..10u32 {
+            for rep in 0..20 {
+                let id = JobId(jobs.len() as u32);
+                let power = 100.0 + user as f64 * 8.0;
+                jobs.push(JobRecord {
+                    id,
+                    user: UserId(user),
+                    app: AppId(0),
+                    submit_min: 0,
+                    start_min: 0,
+                    end_min: 100,
+                    nodes: 4,
+                    walltime_req_min: 120 + (rep % 2) * 60,
+                });
+                summaries.push(JobPowerSummary {
+                    id,
+                    per_node_power_w: power,
+                    energy_wmin: power * 400.0,
+                    peak_overshoot: 0.10,
+                    frac_time_above_10pct: 0.02,
+                    temporal_cv: 0.05,
+                    avg_spatial_spread_w: 10.0,
+                    frac_time_spread_above_avg: 0.3,
+                    energy_imbalance: 0.05,
+                });
+            }
+        }
+        TraceDataset {
+            system: SystemSpec::emmy().scaled(64),
+            jobs,
+            summaries,
+            system_series: vec![],
+            instrumented: vec![],
+            app_names: vec!["A".into()],
+            user_count: 10,
+        }
+    }
+
+    #[test]
+    fn higher_margin_fewer_violations() {
+        let a = analyze(&dataset(), &default_margins(), &PredictionConfig::default()).unwrap();
+        assert_eq!(a.outcomes.len(), 6);
+        for pair in a.outcomes.windows(2) {
+            assert!(pair[1].violation_rate <= pair[0].violation_rate + 1e-9);
+            assert!(pair[1].provisioned_saving <= pair[0].provisioned_saving + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fifteen_pct_margin_covers_ten_pct_peaks() {
+        // Peaks are +10% over the mean and prediction is near-perfect,
+        // so a +15% cap should eliminate violations.
+        let a = analyze(&dataset(), &[0.15], &PredictionConfig::default()).unwrap();
+        assert!(
+            a.outcomes[0].violation_rate < 0.05,
+            "violations {}",
+            a.outcomes[0].violation_rate
+        );
+        // Mean power is ~136 W vs 210 W TDP: saving should be large.
+        assert!(a.outcomes[0].provisioned_saving > 0.15);
+    }
+
+    #[test]
+    fn overprovisioning_headroom_positive() {
+        let a = analyze(&dataset(), &default_margins(), &PredictionConfig::default()).unwrap();
+        assert!(
+            a.extra_nodes_at_15pct > 0,
+            "sub-TDP caps should free node head-room, got {}",
+            a.extra_nodes_at_15pct
+        );
+    }
+
+    #[test]
+    fn caps_never_exceed_tdp() {
+        let a = analyze(&dataset(), &[5.0], &PredictionConfig::default()).unwrap();
+        assert!(a.outcomes[0].mean_cap_w <= 210.0 + 1e-9);
+        assert!(a.outcomes[0].provisioned_saving >= -1e-9);
+    }
+}

@@ -1,0 +1,316 @@
+//! User-level power analysis (Sec. 5, Figs. 11-13).
+//!
+//! *RQ6: Are a small fraction of users responsible for most of the energy
+//! consumed?* *RQ7: Do jobs executed by the same user have similar power
+//! consumption?* *RQ8: Do jobs from the same user with the same number of
+//! nodes / wall time have similar power consumption?*
+
+use std::collections::HashMap;
+
+use hpcpower_stats::lorenz::{top_set_overlap, Lorenz};
+use hpcpower_stats::Summary;
+use hpcpower_trace::{TraceDataset, UserId};
+use serde::{Deserialize, Serialize};
+
+use crate::figures::CdfFigure;
+use crate::{AnalysisError, Result};
+
+/// Fig. 11: concentration of node-hours and energy across users.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserConcentration {
+    /// Share of node-hours consumed by the top 20% of users
+    /// (paper: ~85%).
+    pub top20_node_hours_share: f64,
+    /// Share of energy consumed by the top 20% of users (paper: ~85%).
+    pub top20_energy_share: f64,
+    /// Overlap between the top-20% node-hour users and top-20% energy
+    /// users (paper: ~90%).
+    pub top20_overlap: f64,
+    /// Gini coefficient of energy across users.
+    pub energy_gini: f64,
+    /// `(population fraction, cumulative node-hours share)` curve.
+    pub node_hours_curve: Vec<(f64, f64)>,
+    /// `(population fraction, cumulative energy share)` curve.
+    pub energy_curve: Vec<(f64, f64)>,
+    /// Number of users with at least one job.
+    pub active_users: usize,
+}
+
+/// Per-user aggregate consumption.
+pub fn user_totals(dataset: &TraceDataset) -> HashMap<UserId, (f64, f64)> {
+    let mut totals: HashMap<UserId, (f64, f64)> = HashMap::new();
+    for (job, s) in dataset.iter_jobs() {
+        let e = totals.entry(job.user).or_insert((0.0, 0.0));
+        e.0 += job.node_hours();
+        e.1 += s.energy_wmin;
+    }
+    totals
+}
+
+/// Computes the Fig. 11 concentration analysis.
+pub fn concentration(dataset: &TraceDataset) -> Result<UserConcentration> {
+    let totals = user_totals(dataset);
+    if totals.is_empty() {
+        return Err(AnalysisError::InsufficientData("no jobs".into()));
+    }
+    // Align the two vectors on the same user ordering for the overlap.
+    let mut users: Vec<UserId> = totals.keys().copied().collect();
+    users.sort_unstable();
+    let node_hours: Vec<f64> = users.iter().map(|u| totals[u].0).collect();
+    let energy: Vec<f64> = users.iter().map(|u| totals[u].1).collect();
+
+    let lorenz_nh = Lorenz::new(&node_hours)?;
+    let lorenz_e = Lorenz::new(&energy)?;
+    Ok(UserConcentration {
+        top20_node_hours_share: lorenz_nh.top_share(0.2),
+        top20_energy_share: lorenz_e.top_share(0.2),
+        top20_overlap: top_set_overlap(&node_hours, &energy, 0.2)?,
+        energy_gini: lorenz_e.gini(),
+        node_hours_curve: lorenz_nh.curve(),
+        energy_curve: lorenz_e.curve(),
+        active_users: users.len(),
+    })
+}
+
+/// Fig. 12 + surrounding text: variability of jobs from the same user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserVariability {
+    /// CDF of per-user CV of per-node power (paper: mean 50% on Emmy,
+    /// 100% on Meggie).
+    pub power_cv: CdfFigure,
+    /// Mean per-user CV of node counts (paper: 40% / 55%).
+    pub mean_nodes_cv: f64,
+    /// Mean per-user CV of runtimes (paper: 95% / 170%).
+    pub mean_runtime_cv: f64,
+    /// Users included (those with at least `min_jobs` jobs).
+    pub users: usize,
+}
+
+/// Computes Fig. 12. Users with fewer than `min_jobs` jobs are skipped
+/// (a CV over one job is undefined).
+pub fn user_variability(dataset: &TraceDataset, min_jobs: usize) -> Result<UserVariability> {
+    let min_jobs = min_jobs.max(2);
+    let mut per_user: HashMap<UserId, (Summary, Summary, Summary)> = HashMap::new();
+    for (job, s) in dataset.iter_jobs() {
+        let e = per_user
+            .entry(job.user)
+            .or_insert_with(|| (Summary::new(), Summary::new(), Summary::new()));
+        e.0.push(s.per_node_power_w);
+        e.1.push(job.nodes as f64);
+        e.2.push(job.runtime_min() as f64);
+    }
+    let mut power_cv = Vec::new();
+    let mut nodes_cv = Vec::new();
+    let mut runtime_cv = Vec::new();
+    for (_, (p, n, r)) in per_user {
+        if (p.count() as usize) < min_jobs {
+            continue;
+        }
+        power_cv.push(p.cv());
+        nodes_cv.push(n.cv());
+        runtime_cv.push(r.cv());
+    }
+    if power_cv.is_empty() {
+        return Err(AnalysisError::InsufficientData(
+            "no user has enough jobs for a variability estimate".into(),
+        ));
+    }
+    Ok(UserVariability {
+        power_cv: CdfFigure::from_values(&power_cv, 60).expect("non-empty"),
+        mean_nodes_cv: nodes_cv.iter().sum::<f64>() / nodes_cv.len() as f64,
+        mean_runtime_cv: runtime_cv.iter().sum::<f64>() / runtime_cv.len() as f64,
+        users: power_cv.len(),
+    })
+}
+
+/// Which feature jobs are clustered by, together with the user id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterBy {
+    /// Cluster key = (user, node count) — Fig. 13(a)/(b).
+    Nodes,
+    /// Cluster key = (user, requested walltime) — Fig. 13(c)/(d).
+    Walltime,
+}
+
+/// Fig. 13: within-cluster power variability buckets.
+///
+/// The paper renders this as a pie chart: the share of clusters whose
+/// per-node-power standard deviation (as % of the cluster mean) falls in
+/// each range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTightness {
+    /// Clustering key used.
+    pub by: ClusterBy,
+    /// Bucket upper edges as CV fractions (e.g. 0.1 = "<10%").
+    pub bucket_edges: Vec<f64>,
+    /// Share of clusters per bucket (sums to 1; last bucket is
+    /// "everything above the last edge").
+    pub bucket_shares: Vec<f64>,
+    /// Share of clusters with CV < 10% (paper: 61.7% on Emmy by nodes).
+    pub frac_below_10pct: f64,
+    /// Number of clusters with at least `min_jobs` jobs.
+    pub clusters: usize,
+}
+
+/// Computes Fig. 13 for one clustering key.
+pub fn cluster_tightness(
+    dataset: &TraceDataset,
+    by: ClusterBy,
+    min_jobs: usize,
+) -> Result<ClusterTightness> {
+    let min_jobs = min_jobs.max(2);
+    let mut clusters: HashMap<(UserId, u64), Summary> = HashMap::new();
+    for (job, s) in dataset.iter_jobs() {
+        let key = match by {
+            ClusterBy::Nodes => job.nodes as u64,
+            ClusterBy::Walltime => job.walltime_req_min,
+        };
+        clusters
+            .entry((job.user, key))
+            .or_default()
+            .push(s.per_node_power_w);
+    }
+    let cvs: Vec<f64> = clusters
+        .values()
+        .filter(|s| s.count() as usize >= min_jobs)
+        .map(|s| s.cv())
+        .collect();
+    if cvs.is_empty() {
+        return Err(AnalysisError::InsufficientData(
+            "no cluster has enough jobs".into(),
+        ));
+    }
+    let edges = vec![0.10, 0.20, 0.30, 0.40];
+    let mut shares = vec![0.0; edges.len() + 1];
+    for &cv in &cvs {
+        let bucket = edges.partition_point(|&e| cv >= e);
+        shares[bucket] += 1.0;
+    }
+    for s in &mut shares {
+        *s /= cvs.len() as f64;
+    }
+    Ok(ClusterTightness {
+        by,
+        frac_below_10pct: shares[0],
+        bucket_edges: edges,
+        bucket_shares: shares,
+        clusters: cvs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcpower_trace::{AppId, JobId, JobPowerSummary, JobRecord, SystemSpec};
+
+    /// 10 users; user 0 runs huge repetitive jobs, others run tiny mixed
+    /// ones.
+    fn dataset() -> TraceDataset {
+        let mut jobs = Vec::new();
+        let mut summaries = Vec::new();
+        let mut push = |user: u32, nodes: u32, runtime: u64, walltime: u64, power: f64| {
+            let id = JobId(jobs.len() as u32);
+            jobs.push(JobRecord {
+                id,
+                user: UserId(user),
+                app: AppId(0),
+                submit_min: 0,
+                start_min: 0,
+                end_min: runtime,
+                nodes,
+                walltime_req_min: walltime,
+            });
+            summaries.push(JobPowerSummary {
+                id,
+                per_node_power_w: power,
+                energy_wmin: power * runtime as f64 * nodes as f64,
+                peak_overshoot: 0.1,
+                frac_time_above_10pct: 0.0,
+                temporal_cv: 0.05,
+                avg_spatial_spread_w: 10.0,
+                frac_time_spread_above_avg: 0.3,
+                energy_imbalance: 0.05,
+            });
+        };
+        // Heavy user 0: 20 identical big jobs.
+        for _ in 0..20 {
+            push(0, 16, 600, 720, 160.0);
+        }
+        // Small users 1..9: two jobs each with very different power.
+        for u in 1..10 {
+            push(u, 1, 60, 120, 50.0);
+            push(u, 1, 60, 120, 150.0);
+        }
+        TraceDataset {
+            system: SystemSpec::emmy().scaled(32),
+            jobs,
+            summaries,
+            system_series: vec![],
+            instrumented: vec![],
+            app_names: vec!["A".into()],
+            user_count: 10,
+        }
+    }
+
+    #[test]
+    fn concentration_detects_heavy_user() {
+        let c = concentration(&dataset()).unwrap();
+        // User 0 has 3200 node-hours vs 0.3 node-hours for the rest.
+        assert!(c.top20_node_hours_share > 0.95);
+        assert!(c.top20_energy_share > 0.95);
+        assert!(c.top20_overlap > 0.4);
+        assert!(c.energy_gini > 0.7);
+        assert_eq!(c.active_users, 10);
+        assert!((c.node_hours_curve.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variability_reflects_user_mix() {
+        let v = user_variability(&dataset(), 2).unwrap();
+        assert_eq!(v.users, 10);
+        // Small users alternate 50/150 -> CV ~0.707; heavy user 0.
+        assert!(v.power_cv.stats.mean > 0.4, "{}", v.power_cv.stats.mean);
+        assert!(v.power_cv.stats.mean < 0.8);
+        // Node counts constant per user.
+        assert!(v.mean_nodes_cv.abs() < 1e-9);
+    }
+
+    #[test]
+    fn variability_requires_multiple_jobs() {
+        let mut d = dataset();
+        d.jobs.truncate(1);
+        d.summaries.truncate(1);
+        assert!(user_variability(&d, 2).is_err());
+    }
+
+    #[test]
+    fn clusters_by_nodes() {
+        let t = cluster_tightness(&dataset(), ClusterBy::Nodes, 2).unwrap();
+        // Heavy user's cluster is tight (CV 0); small users' clusters
+        // (user, 1 node) mix 50 W and 150 W -> very loose.
+        assert_eq!(t.clusters, 10);
+        assert!((t.frac_below_10pct - 0.1).abs() < 1e-9);
+        let total: f64 = t.bucket_shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clusters_by_walltime() {
+        let t = cluster_tightness(&dataset(), ClusterBy::Walltime, 2).unwrap();
+        assert_eq!(t.clusters, 10);
+        assert_eq!(t.by, ClusterBy::Walltime);
+    }
+
+    #[test]
+    fn tight_templates_give_tight_clusters() {
+        // All users repeat one template exactly.
+        let mut d = dataset();
+        for (i, s) in d.summaries.iter_mut().enumerate() {
+            if d.jobs[i].user != UserId(0) {
+                s.per_node_power_w = 100.0; // identical within cluster
+            }
+        }
+        let t = cluster_tightness(&d, ClusterBy::Nodes, 2).unwrap();
+        assert!((t.frac_below_10pct - 1.0).abs() < 1e-9);
+    }
+}

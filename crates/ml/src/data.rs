@@ -1,0 +1,234 @@
+//! Feature matrices and train/validation splitting.
+//!
+//! The paper predicts per-node power from exactly three features that are
+//! available *before* execution: user id (categorical), number of nodes,
+//! and requested wall time. The evaluation protocol draws ten random
+//! 80/20 splits, constrained so that every user present in validation
+//! also appears in training ("it would not be appropriate ... to make
+//! predictions for jobs from previously unseen users").
+
+use hpcpower_stats::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Column-oriented storage of the three features.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    /// Categorical user ids.
+    pub users: Vec<u32>,
+    /// Node counts (stored as f64 for numeric models).
+    pub nodes: Vec<f64>,
+    /// Requested walltimes in minutes.
+    pub walltimes: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// Creates an empty matrix with capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            users: Vec::with_capacity(n),
+            nodes: Vec::with_capacity(n),
+            walltimes: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, user: u32, nodes: f64, walltime: f64) {
+        self.users.push(user);
+        self.nodes.push(nodes);
+        self.walltimes.push(walltime);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// One row as `(user, nodes, walltime)`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (u32, f64, f64) {
+        (self.users[i], self.nodes[i], self.walltimes[i])
+    }
+
+    /// Selects a subset of rows by index.
+    pub fn select(&self, indices: &[usize]) -> Self {
+        let mut out = Self::with_capacity(indices.len());
+        for &i in indices {
+            out.push(self.users[i], self.nodes[i], self.walltimes[i]);
+        }
+        out
+    }
+}
+
+/// A labelled dataset: features plus the regression target
+/// (per-node power in watts for the paper's task).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Input features.
+    pub features: FeatureMatrix,
+    /// Regression targets.
+    pub targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Appends one labelled sample.
+    pub fn push(&mut self, user: u32, nodes: f64, walltime: f64, target: f64) {
+        self.features.push(user, nodes, walltime);
+        self.targets.push(target);
+    }
+
+    /// Selects a subset of rows by index.
+    pub fn select(&self, indices: &[usize]) -> Self {
+        Self {
+            features: self.features.select(indices),
+            targets: indices.iter().map(|&i| self.targets[i]).collect(),
+        }
+    }
+
+    /// Splits into `(train, validation)` with the given validation
+    /// fraction, guaranteeing user coverage: for every user, at least one
+    /// job stays in training (users with a single job go entirely to
+    /// training). Returns the index sets, deterministic in the seed.
+    pub fn split_user_covered(
+        &self,
+        validation_fraction: f64,
+        seed: u64,
+    ) -> (Vec<usize>, Vec<usize>) {
+        assert!((0.0..1.0).contains(&validation_fraction));
+        let n = self.len();
+        let mut rng = SplitMix64::new(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        // Fisher-Yates shuffle.
+        for i in (1..n).rev() {
+            let j = rng.next_bounded(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        let target_val = (n as f64 * validation_fraction).round() as usize;
+        // First pass: reserve one training slot per user (the first
+        // occurrence in shuffled order).
+        let mut seen: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let mut reserved = vec![false; n];
+        for &i in &order {
+            let u = self.features.users[i];
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(u) {
+                e.insert(i);
+                reserved[i] = true;
+            }
+        }
+        let mut train = Vec::with_capacity(n - target_val);
+        let mut val = Vec::with_capacity(target_val);
+        for &i in &order {
+            if !reserved[i] && val.len() < target_val {
+                val.push(i);
+            } else {
+                train.push(i);
+            }
+        }
+        (train, val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize, users: u32) -> Dataset {
+        let mut d = Dataset::default();
+        for i in 0..n {
+            d.push(
+                (i as u32) % users,
+                ((i % 8) + 1) as f64,
+                60.0 * ((i % 4) + 1) as f64,
+                100.0 + i as f64,
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_row() {
+        let d = dataset(10, 3);
+        assert_eq!(d.len(), 10);
+        let (u, n, w) = d.features.row(4);
+        assert_eq!(u, 1);
+        assert_eq!(n, 5.0);
+        assert_eq!(w, 60.0);
+    }
+
+    #[test]
+    fn select_subsets() {
+        let d = dataset(10, 3);
+        let s = d.select(&[0, 5, 9]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.targets, vec![100.0, 105.0, 109.0]);
+    }
+
+    #[test]
+    fn split_sizes_are_roughly_right() {
+        let d = dataset(1000, 20);
+        let (train, val) = d.split_user_covered(0.2, 1);
+        assert_eq!(train.len() + val.len(), 1000);
+        assert!((val.len() as i64 - 200).abs() <= 25, "val {}", val.len());
+    }
+
+    #[test]
+    fn split_covers_all_validation_users() {
+        let d = dataset(500, 50);
+        let (train, val) = d.split_user_covered(0.2, 7);
+        let train_users: std::collections::HashSet<u32> =
+            train.iter().map(|&i| d.features.users[i]).collect();
+        for &i in &val {
+            assert!(
+                train_users.contains(&d.features.users[i]),
+                "validation user {} missing from training",
+                d.features.users[i]
+            );
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let d = dataset(300, 10);
+        let a = d.split_user_covered(0.2, 3);
+        let b = d.split_user_covered(0.2, 3);
+        let c = d.split_user_covered(0.2, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn singleton_users_stay_in_training() {
+        let mut d = Dataset::default();
+        // User 0 has many jobs; user 99 exactly one.
+        for i in 0..50 {
+            d.push(0, 1.0, 60.0, i as f64);
+        }
+        d.push(99, 4.0, 120.0, 500.0);
+        let (train, val) = d.split_user_covered(0.3, 11);
+        assert!(val.iter().all(|&i| d.features.users[i] != 99));
+        assert!(train.iter().any(|&i| d.features.users[i] == 99));
+    }
+
+    #[test]
+    fn disjoint_and_complete() {
+        let d = dataset(200, 7);
+        let (train, val) = d.split_user_covered(0.25, 5);
+        let mut all: Vec<usize> = train.iter().chain(val.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+}

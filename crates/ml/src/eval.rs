@@ -1,0 +1,217 @@
+//! The paper's evaluation protocol (Sec. 5).
+//!
+//! "We divide our dataset into training and validation data. Training
+//! data consists of 80% of randomly selected jobs ... we repeat this
+//! process ten times ... We train and validate our models using all ten
+//! sets and report the average. We ensure that the training data contains
+//! jobs from all the users which are present in the validation data."
+//!
+//! [`evaluate`] runs that protocol for any trainer and pools the
+//! per-prediction absolute percentage errors (Fig. 14) and per-user mean
+//! errors (Fig. 15) across the ten splits. Splits run in parallel.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+
+use crate::data::Dataset;
+use crate::metrics::abs_pct_error;
+use crate::{Regressor, Result};
+
+/// Evaluation-protocol parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalConfig {
+    /// Number of random splits (the paper uses 10).
+    pub n_splits: usize,
+    /// Validation fraction (the paper uses 0.2).
+    pub validation_fraction: f64,
+    /// Base seed; split `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            n_splits: 10,
+            validation_fraction: 0.2,
+            seed: 0x5EED_E7A1,
+        }
+    }
+}
+
+/// Pooled evaluation results across all splits.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Absolute percentage error of every validation prediction, pooled
+    /// over all splits (the Fig. 14 CDF input).
+    pub errors: Vec<f64>,
+    /// Mean absolute percentage error per user, averaged over splits in
+    /// which the user had validation jobs (the Fig. 15 CDF input).
+    pub per_user_mean_error: Vec<(u32, f64)>,
+}
+
+impl EvalReport {
+    /// Mean absolute percentage error over all pooled predictions.
+    pub fn mape(&self) -> f64 {
+        self.errors.iter().sum::<f64>() / self.errors.len() as f64
+    }
+
+    /// Fraction of pooled predictions with error below `threshold`.
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        crate::metrics::fraction_below(&self.errors, threshold)
+    }
+
+    /// Fraction of users whose mean error is below `threshold`.
+    pub fn user_fraction_below(&self, threshold: f64) -> f64 {
+        if self.per_user_mean_error.is_empty() {
+            return f64::NAN;
+        }
+        self.per_user_mean_error
+            .iter()
+            .filter(|(_, e)| *e < threshold)
+            .count() as f64
+            / self.per_user_mean_error.len() as f64
+    }
+}
+
+/// Runs the repeated-random-split protocol with a model trainer.
+///
+/// `train` receives the training subset and returns a fitted model; it
+/// may fail (e.g. degenerate split), in which case that split is skipped
+/// — the report notes how many splits succeeded via the error count.
+pub fn evaluate<F, M>(data: &Dataset, cfg: &EvalConfig, train: F) -> EvalReport
+where
+    F: Fn(&Dataset) -> Result<M> + Sync,
+    M: Regressor,
+{
+    // Per split: pooled errors + per-user (error sum, count).
+    type SplitResult = (Vec<f64>, HashMap<u32, (f64, u32)>);
+    let split_results: Vec<SplitResult> = (0..cfg.n_splits)
+        .into_par_iter()
+        .filter_map(|s| {
+            let (train_idx, val_idx) =
+                data.split_user_covered(cfg.validation_fraction, cfg.seed + s as u64);
+            let train_set = data.select(&train_idx);
+            let model = train(&train_set).ok()?;
+            let mut errors = Vec::with_capacity(val_idx.len());
+            let mut per_user: HashMap<u32, (f64, u32)> = HashMap::new();
+            for &i in &val_idx {
+                let (u, n, w) = data.features.row(i);
+                let actual = data.targets[i];
+                if actual == 0.0 {
+                    continue;
+                }
+                let err = abs_pct_error(actual, model.predict(u, n, w));
+                errors.push(err);
+                let e = per_user.entry(u).or_insert((0.0, 0));
+                e.0 += err;
+                e.1 += 1;
+            }
+            Some((errors, per_user))
+        })
+        .collect();
+
+    let mut errors = Vec::new();
+    // Per user: average of split-level mean errors.
+    let mut user_acc: HashMap<u32, (f64, u32)> = HashMap::new();
+    for (errs, per_user) in split_results {
+        errors.extend(errs);
+        for (u, (sum, n)) in per_user {
+            let mean = sum / n as f64;
+            let e = user_acc.entry(u).or_insert((0.0, 0));
+            e.0 += mean;
+            e.1 += 1;
+        }
+    }
+    let mut per_user_mean_error: Vec<(u32, f64)> = user_acc
+        .into_iter()
+        .map(|(u, (sum, n))| (u, sum / n as f64))
+        .collect();
+    per_user_mean_error.sort_by_key(|(u, _)| *u);
+    EvalReport {
+        errors,
+        per_user_mean_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{DecisionTree, TreeConfig};
+    use hpcpower_stats::rng::SplitMix64;
+
+    /// Users with template-like repetitive jobs: highly predictable.
+    fn predictable_dataset() -> Dataset {
+        let mut d = Dataset::default();
+        let mut rng = SplitMix64::new(3);
+        for user in 0..20u32 {
+            let base = 80.0 + (user as f64 * 7.0) % 100.0;
+            for rep in 0..40 {
+                let nodes = ((user + rep) % 3 + 1) as f64 * 2.0;
+                let power = base + nodes * 3.0 + rng.next_normal() * 2.0;
+                d.push(user, nodes, 120.0 + 60.0 * (rep % 2) as f64, power);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn tree_is_accurate_on_template_workload() {
+        let d = predictable_dataset();
+        let report = evaluate(&d, &EvalConfig::default(), |train| {
+            DecisionTree::fit(train, TreeConfig::default())
+        });
+        assert!(!report.errors.is_empty());
+        assert!(
+            report.fraction_below(0.10) > 0.9,
+            "only {:.2} of predictions under 10% error",
+            report.fraction_below(0.10)
+        );
+        assert!(report.mape() < 0.06, "MAPE {}", report.mape());
+    }
+
+    #[test]
+    fn per_user_errors_cover_most_users() {
+        let d = predictable_dataset();
+        let report = evaluate(&d, &EvalConfig::default(), |train| {
+            DecisionTree::fit(train, TreeConfig::default())
+        });
+        assert!(report.per_user_mean_error.len() >= 18);
+        assert!(report.user_fraction_below(0.10) > 0.9);
+    }
+
+    #[test]
+    fn pooled_error_count_matches_split_sizes() {
+        let d = predictable_dataset();
+        let cfg = EvalConfig {
+            n_splits: 4,
+            validation_fraction: 0.25,
+            seed: 9,
+        };
+        let report = evaluate(&d, &cfg, |train| {
+            DecisionTree::fit(train, TreeConfig::default())
+        });
+        let expected_per_split = (d.len() as f64 * 0.25).round() as usize;
+        assert!(
+            (report.errors.len() as i64 - (expected_per_split * 4) as i64).abs()
+                < (4 * 25) as i64,
+            "pooled {} vs expected ~{}",
+            report.errors.len(),
+            expected_per_split * 4
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = predictable_dataset();
+        let cfg = EvalConfig {
+            n_splits: 3,
+            validation_fraction: 0.2,
+            seed: 5,
+        };
+        let a = evaluate(&d, &cfg, |t| DecisionTree::fit(t, TreeConfig::default()));
+        let b = evaluate(&d, &cfg, |t| DecisionTree::fit(t, TreeConfig::default()));
+        assert_eq!(a.errors, b.errors);
+        assert_eq!(a.per_user_mean_error, b.per_user_mean_error);
+    }
+}

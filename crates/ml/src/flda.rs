@@ -1,0 +1,262 @@
+//! Fisher's Linear Discriminant Analysis over binned power classes.
+//!
+//! FLDA is a *classifier*; the paper applies it to power prediction by
+//! discretizing per-node power into classes. The model here bins the
+//! training targets into quantile classes, fits the classic LDA
+//! discriminants (shared pooled covariance, per-class means and priors),
+//! and predicts the mean target of the winning class.
+//!
+//! Features are `(user id, nodes, log walltime)` as raw numerics — which
+//! is exactly why FLDA underperforms on a system with many users and a
+//! wide power range (the paper: "a linear classification prediction
+//! approach thus performs worse when the dataset is diverse and cannot be
+//! simply divided along linear lines").
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::Dataset;
+use crate::linalg::{accumulate_scatter, mean_vector, Matrix};
+use crate::{MlError, Regressor, Result};
+
+/// FLDA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FldaConfig {
+    /// Number of quantile classes the target is binned into.
+    pub classes: usize,
+    /// Ridge term added to the pooled covariance diagonal.
+    pub ridge: f64,
+}
+
+impl Default for FldaConfig {
+    fn default() -> Self {
+        Self {
+            classes: 10,
+            ridge: 1e-6,
+        }
+    }
+}
+
+/// A fitted FLDA model.
+#[derive(Debug, Clone)]
+pub struct Flda {
+    /// Per-class: linear weights (`Σ⁻¹ μ_c`).
+    weights: Vec<Vec<f64>>,
+    /// Per-class: bias (`-½ μ_cᵀ Σ⁻¹ μ_c + ln π_c`).
+    biases: Vec<f64>,
+    /// Per-class mean target (the regression output).
+    class_means: Vec<f64>,
+    config: FldaConfig,
+}
+
+fn feature_vec(user: u32, nodes: f64, walltime: f64) -> Vec<f64> {
+    vec![user as f64, nodes, walltime.max(1.0).ln()]
+}
+
+impl Flda {
+    /// Fits the model.
+    pub fn fit(data: &Dataset, config: FldaConfig) -> Result<Self> {
+        if config.classes < 2 {
+            return Err(MlError::InvalidConfig("need at least 2 classes"));
+        }
+        if data.len() < config.classes * 2 {
+            return Err(MlError::NotEnoughData {
+                required: config.classes * 2,
+                actual: data.len(),
+            });
+        }
+        // Quantile bin edges over the target.
+        let mut sorted = data.targets.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite targets"));
+        let edges: Vec<f64> = (1..config.classes)
+            .map(|c| {
+                let pos = c as f64 / config.classes as f64 * (sorted.len() - 1) as f64;
+                sorted[pos.round() as usize]
+            })
+            .collect();
+        let class_of = |t: f64| edges.partition_point(|&e| e < t);
+
+        // Group samples per class.
+        let dim = 3;
+        let mut per_class: Vec<Vec<Vec<f64>>> = vec![Vec::new(); config.classes];
+        let mut class_target_sums = vec![0.0; config.classes];
+        for i in 0..data.len() {
+            let (u, n, w) = data.features.row(i);
+            let c = class_of(data.targets[i]);
+            per_class[c].push(feature_vec(u, n, w));
+            class_target_sums[c] += data.targets[i];
+        }
+        // Drop empty classes (duplicated quantile edges can create them).
+        let kept: Vec<usize> = (0..config.classes)
+            .filter(|&c| !per_class[c].is_empty())
+            .collect();
+        if kept.len() < 2 {
+            return Err(MlError::InvalidConfig(
+                "target has too few distinct values for the requested classes",
+            ));
+        }
+
+        // Class means, priors, pooled within-class scatter.
+        let n_total = data.len() as f64;
+        let mut pooled = Matrix::zeros(dim, dim);
+        let mut means = Vec::with_capacity(kept.len());
+        let mut priors = Vec::with_capacity(kept.len());
+        let mut class_means = Vec::with_capacity(kept.len());
+        for &c in &kept {
+            let rows = &per_class[c];
+            let mu = mean_vector(rows);
+            for row in rows {
+                accumulate_scatter(&mut pooled, row, &mu);
+            }
+            priors.push(rows.len() as f64 / n_total);
+            class_means.push(class_target_sums[c] / rows.len() as f64);
+            means.push(mu);
+        }
+        // Pooled covariance = scatter / (n - k), ridged for stability.
+        let denom = (n_total - kept.len() as f64).max(1.0);
+        let mut cov = Matrix::zeros(dim, dim);
+        for i in 0..dim {
+            for j in 0..dim {
+                cov[(i, j)] = pooled[(i, j)] / denom;
+            }
+        }
+        cov.ridge(config.ridge.max(1e-12));
+
+        // Discriminants: w_c = Σ⁻¹ μ_c ; b_c = -½ μ_cᵀ w_c + ln π_c.
+        let mut weights = Vec::with_capacity(kept.len());
+        let mut biases = Vec::with_capacity(kept.len());
+        for (mu, &prior) in means.iter().zip(&priors) {
+            let w = cov.solve(mu).ok_or(MlError::InvalidConfig(
+                "pooled covariance is singular even after ridging",
+            ))?;
+            let b = -0.5 * mu.iter().zip(&w).map(|(m, wi)| m * wi).sum::<f64>() + prior.ln();
+            weights.push(w);
+            biases.push(b);
+        }
+        Ok(Self {
+            weights,
+            biases,
+            class_means,
+            config,
+        })
+    }
+
+    /// Number of (non-empty) classes in the fitted model.
+    pub fn class_count(&self) -> usize {
+        self.class_means.len()
+    }
+
+    /// The hyper-parameters in use.
+    pub fn config(&self) -> FldaConfig {
+        self.config
+    }
+}
+
+impl Regressor for Flda {
+    fn predict(&self, user: u32, nodes: f64, walltime: f64) -> f64 {
+        let x = feature_vec(user, nodes, walltime);
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (c, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let score = x.iter().zip(w).map(|(xi, wi)| xi * wi).sum::<f64>() + b;
+            if score > best_score {
+                best_score = score;
+                best = c;
+            }
+        }
+        self.class_means[best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcpower_stats::rng::SplitMix64;
+
+    /// A linearly separable problem: power grows with node count.
+    fn linear_dataset() -> Dataset {
+        let mut d = Dataset::default();
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..600 {
+            let nodes = 1.0 + rng.next_bounded(32) as f64;
+            let power = 60.0 + 4.0 * nodes + rng.next_normal() * 2.0;
+            d.push(0, nodes, 120.0, power);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_linear_structure() {
+        let d = linear_dataset();
+        let flda = Flda::fit(&d, FldaConfig::default()).unwrap();
+        // Prediction should increase with nodes and be within ~15 W.
+        let p4 = flda.predict(0, 4.0, 120.0);
+        let p16 = flda.predict(0, 16.0, 120.0);
+        let p30 = flda.predict(0, 30.0, 120.0);
+        assert!(p4 < p16 && p16 < p30, "{p4} {p16} {p30}");
+        assert!((p16 - (60.0 + 64.0)).abs() < 20.0, "p16 {p16}");
+    }
+
+    #[test]
+    fn class_count_bounded() {
+        let d = linear_dataset();
+        let flda = Flda::fit(&d, FldaConfig::default()).unwrap();
+        assert!(flda.class_count() >= 2 && flda.class_count() <= 10);
+    }
+
+    #[test]
+    fn predictions_within_target_range() {
+        let d = linear_dataset();
+        let flda = Flda::fit(&d, FldaConfig::default()).unwrap();
+        let lo = d.targets.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = d.targets.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for nodes in [1.0, 8.0, 64.0] {
+            let p = flda.predict(0, nodes, 120.0);
+            assert!(p >= lo && p <= hi);
+        }
+    }
+
+    #[test]
+    fn constant_feature_is_handled_by_ridge() {
+        // All jobs identical except the target: covariance is singular.
+        let mut d = Dataset::default();
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..100 {
+            d.push(0, 4.0, 120.0, 100.0 + rng.next_normal() * 30.0);
+        }
+        let flda = Flda::fit(
+            &d,
+            FldaConfig {
+                classes: 4,
+                ridge: 1e-3,
+            },
+        )
+        .unwrap();
+        let p = flda.predict(0, 4.0, 120.0);
+        assert!(p > 0.0 && p.is_finite());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let d = linear_dataset();
+        assert!(Flda::fit(
+            &d,
+            FldaConfig {
+                classes: 1,
+                ridge: 1e-6
+            }
+        )
+        .is_err());
+        let tiny = Dataset::default();
+        assert!(Flda::fit(&tiny, FldaConfig::default()).is_err());
+    }
+
+    #[test]
+    fn nearly_constant_target_rejected() {
+        let mut d = Dataset::default();
+        for i in 0..100 {
+            d.push(0, (i % 4 + 1) as f64, 60.0, 42.0);
+        }
+        // All quantile edges coincide -> fewer than 2 classes.
+        assert!(Flda::fit(&d, FldaConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Random forest regression — the "is a fancier model worth it?" probe.
+//!
+//! The paper argues simple models suffice and complex ones risk
+//! over-fitting spurious trends. A bagged ensemble of the same CART trees
+//! lets us *test* that claim instead of asserting it: the ablation bench
+//! compares a single BDT against forests of growing size (the answer, on
+//! template-structured workloads, is that the forest buys almost
+//! nothing — the paper's intuition holds).
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use hpcpower_stats::rng::SplitMix64;
+
+use crate::data::Dataset;
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::{MlError, Regressor, Result};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub trees: usize,
+    /// Per-tree CART settings.
+    pub tree: TreeConfig,
+    /// Bootstrap sample fraction per tree (with replacement).
+    pub sample_fraction: f64,
+    /// Seed for the bootstrap draws.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            trees: 20,
+            tree: TreeConfig::default(),
+            sample_fraction: 0.9,
+            seed: 0xF0_4E57,
+        }
+    }
+}
+
+/// A bagged ensemble of CART trees.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fits the forest: each tree trains on an independent bootstrap
+    /// resample. Trees are trained in parallel.
+    pub fn fit(data: &Dataset, config: ForestConfig) -> Result<Self> {
+        if config.trees == 0 {
+            return Err(MlError::InvalidConfig("need at least one tree"));
+        }
+        if !(0.0 < config.sample_fraction && config.sample_fraction <= 1.0) {
+            return Err(MlError::InvalidConfig("sample_fraction must be in (0, 1]"));
+        }
+        if data.len() < 2 {
+            return Err(MlError::NotEnoughData {
+                required: 2,
+                actual: data.len(),
+            });
+        }
+        let n = data.len();
+        let per_tree = ((n as f64 * config.sample_fraction) as usize).max(2);
+        let trees: Vec<DecisionTree> = (0..config.trees)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = SplitMix64::new(config.seed.wrapping_add(t as u64 * 7919));
+                let indices: Vec<usize> = (0..per_tree)
+                    .map(|_| rng.next_bounded(n as u64) as usize)
+                    .collect();
+                let sample = data.select(&indices);
+                DecisionTree::fit(&sample, config.tree)
+            })
+            .collect::<Result<_>>()?;
+        Ok(Self { trees })
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest is empty (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Regressor for RandomForest {
+    fn predict(&self, user: u32, nodes: f64, walltime: f64) -> f64 {
+        let sum: f64 = self
+            .trees
+            .iter()
+            .map(|t| t.predict(user, nodes, walltime))
+            .sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        let mut d = Dataset::default();
+        let mut rng = SplitMix64::new(1);
+        for user in 0..10u32 {
+            for rep in 0..40 {
+                let nodes = ((user + rep) % 4 + 1) as f64;
+                let power = 80.0 + user as f64 * 9.0 + nodes * 4.0 + rng.next_normal();
+                d.push(user, nodes, 120.0, power);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn forest_learns_the_structure() {
+        let d = dataset();
+        let forest = RandomForest::fit(&d, ForestConfig::default()).unwrap();
+        assert_eq!(forest.len(), 20);
+        for user in 0..10u32 {
+            let pred = forest.predict(user, 2.0, 120.0);
+            let expected = 80.0 + user as f64 * 9.0 + 8.0;
+            assert!(
+                (pred - expected).abs() < 5.0,
+                "user {user}: {pred} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn forest_is_deterministic() {
+        let d = dataset();
+        let a = RandomForest::fit(&d, ForestConfig::default()).unwrap();
+        let b = RandomForest::fit(&d, ForestConfig::default()).unwrap();
+        for q in 0..20u32 {
+            assert_eq!(
+                a.predict(q % 10, (q % 4 + 1) as f64, 120.0),
+                b.predict(q % 10, (q % 4 + 1) as f64, 120.0)
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_within_target_hull() {
+        let d = dataset();
+        let forest = RandomForest::fit(&d, ForestConfig::default()).unwrap();
+        let lo = d.targets.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = d.targets.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for user in 0..12u32 {
+            let p = forest.predict(user, 8.0, 400.0);
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let d = dataset();
+        assert!(RandomForest::fit(
+            &d,
+            ForestConfig {
+                trees: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(RandomForest::fit(
+            &d,
+            ForestConfig {
+                sample_fraction: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(RandomForest::fit(&Dataset::default(), ForestConfig::default()).is_err());
+    }
+
+    #[test]
+    fn single_tree_forest_close_to_plain_tree_in_sample() {
+        // With sample_fraction 1.0 the bootstrap still resamples, so the
+        // fits differ, but both should capture the dominant structure.
+        let d = dataset();
+        let forest = RandomForest::fit(
+            &d,
+            ForestConfig {
+                trees: 1,
+                sample_fraction: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let tree = DecisionTree::fit(&d, TreeConfig::default()).unwrap();
+        let pf = forest.predict(5, 2.0, 120.0);
+        let pt = tree.predict(5, 2.0, 120.0);
+        assert!((pf - pt).abs() < 10.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! K-Nearest-Neighbour regression.
+//!
+//! The paper's KNN baseline clusters jobs at a "small distance" (similar
+//! node count and walltime) even when their power differs — which is why
+//! it loses to the tree. The distance used here makes that behaviour
+//! explicit:
+//!
+//! ```text
+//! d² = user_mismatch_penalty · [u₁ ≠ u₂]
+//!    + ((n₁ - n₂) / σ_nodes)²
+//!    + ((w₁ - w₂) / σ_walltime)²
+//! ```
+//!
+//! with numeric features standardized by their training deviations. A
+//! per-user index accelerates the common case where a user's own history
+//! already supplies `k` neighbours.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::Dataset;
+use crate::{MlError, Regressor, Result};
+
+/// KNN hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnnConfig {
+    /// Number of neighbours.
+    pub k: usize,
+    /// Squared-distance penalty for a user mismatch (categorical mode).
+    /// Large values make same-user history dominate, mirroring the
+    /// paper's feature order.
+    pub user_mismatch_penalty: f64,
+    /// Inverse-distance weighting of neighbour targets (vs plain mean).
+    pub distance_weighted: bool,
+    /// Treat the user id as a *numeric* feature (standardized like the
+    /// others) instead of a categorical one. This reproduces the paper's
+    /// plain-KNN behaviour — and its weakness: jobs at a "small distance"
+    /// (similar nodes and walltime) are clustered together "even if they
+    /// have very different per-node power consumption".
+    pub numeric_user: bool,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            user_mismatch_penalty: 25.0,
+            distance_weighted: true,
+            numeric_user: false,
+        }
+    }
+}
+
+impl KnnConfig {
+    /// The paper-faithful configuration: plain KNN over the three raw
+    /// features with the user id treated numerically.
+    pub fn paper() -> Self {
+        Self {
+            k: 5,
+            user_mismatch_penalty: 0.0,
+            distance_weighted: true,
+            numeric_user: true,
+        }
+    }
+}
+
+/// A fitted KNN model (stores the training set).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Knn {
+    users: Vec<u32>,
+    nodes: Vec<f64>,
+    walltimes: Vec<f64>,
+    targets: Vec<f64>,
+    node_scale: f64,
+    walltime_scale: f64,
+    user_scale: f64,
+    by_user: HashMap<u32, Vec<u32>>,
+    config: KnnConfig,
+}
+
+fn std_scale(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let s = var.sqrt();
+    if s > 1e-9 {
+        s
+    } else {
+        1.0
+    }
+}
+
+impl Knn {
+    /// Fits (memorizes) the training set.
+    pub fn fit(data: &Dataset, config: KnnConfig) -> Result<Self> {
+        if data.len() < config.k.max(1) {
+            return Err(MlError::NotEnoughData {
+                required: config.k.max(1),
+                actual: data.len(),
+            });
+        }
+        if config.k == 0 {
+            return Err(MlError::InvalidConfig("k must be positive"));
+        }
+        let mut by_user: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, &u) in data.features.users.iter().enumerate() {
+            by_user.entry(u).or_default().push(i as u32);
+        }
+        Ok(Self {
+            users: data.features.users.clone(),
+            nodes: data.features.nodes.clone(),
+            walltimes: data.features.walltimes.clone(),
+            targets: data.targets.clone(),
+            node_scale: std_scale(&data.features.nodes),
+            walltime_scale: std_scale(&data.features.walltimes),
+            user_scale: std_scale(
+                &data.features.users.iter().map(|&u| u as f64).collect::<Vec<f64>>(),
+            ),
+            by_user,
+            config,
+        })
+    }
+
+    /// The hyper-parameters in use.
+    pub fn config(&self) -> KnnConfig {
+        self.config
+    }
+
+    #[inline]
+    fn numeric_dist2(&self, i: usize, nodes: f64, walltime: f64) -> f64 {
+        let dn = (self.nodes[i] - nodes) / self.node_scale;
+        let dw = (self.walltimes[i] - walltime) / self.walltime_scale;
+        dn * dn + dw * dw
+    }
+
+    /// Indices and squared distances of the k nearest training points.
+    fn neighbours(&self, user: u32, nodes: f64, walltime: f64) -> Vec<(f64, usize)> {
+        let k = self.config.k;
+        if self.config.numeric_user {
+            return self.neighbours_numeric(user, nodes, walltime);
+        }
+        // Scan the user's own jobs first; `best` is kept sorted ascending
+        // by distance (k is small, insertion-style maintenance is fine).
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        let push = |d2: f64, i: usize, best: &mut Vec<(f64, usize)>| {
+            if best.len() < k {
+                best.push((d2, i));
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            } else if d2 < best[k - 1].0 {
+                best[k - 1] = (d2, i);
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            }
+        };
+        if let Some(own) = self.by_user.get(&user) {
+            for &i in own {
+                let i = i as usize;
+                push(self.numeric_dist2(i, nodes, walltime), i, &mut best);
+            }
+        }
+        // If the user's own history already yields k neighbours closer
+        // than any possible cross-user point, stop early.
+        let need_global = best.len() < k
+            || best[best.len() - 1].0 > self.config.user_mismatch_penalty;
+        if need_global {
+            for i in 0..self.targets.len() {
+                if self.users[i] == user {
+                    continue;
+                }
+                let d2 =
+                    self.numeric_dist2(i, nodes, walltime) + self.config.user_mismatch_penalty;
+                push(d2, i, &mut best);
+            }
+        }
+        best
+    }
+
+    /// Plain numeric-feature scan (the paper's KNN variant).
+    fn neighbours_numeric(&self, user: u32, nodes: f64, walltime: f64) -> Vec<(f64, usize)> {
+        let k = self.config.k;
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        for i in 0..self.targets.len() {
+            let du = (self.users[i] as f64 - user as f64) / self.user_scale;
+            let d2 = self.numeric_dist2(i, nodes, walltime) + du * du;
+            if best.len() < k {
+                best.push((d2, i));
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            } else if d2 < best[k - 1].0 {
+                best[k - 1] = (d2, i);
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            }
+        }
+        best
+    }
+}
+
+impl Regressor for Knn {
+    fn predict(&self, user: u32, nodes: f64, walltime: f64) -> f64 {
+        let neigh = self.neighbours(user, nodes, walltime);
+        debug_assert!(!neigh.is_empty());
+        if self.config.distance_weighted {
+            let mut wsum = 0.0;
+            let mut acc = 0.0;
+            for &(d2, i) in &neigh {
+                let w = 1.0 / (d2 + 1e-6);
+                wsum += w;
+                acc += w * self.targets[i];
+            }
+            acc / wsum
+        } else {
+            neigh.iter().map(|&(_, i)| self.targets[i]).sum::<f64>() / neigh.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        let mut d = Dataset::default();
+        // User 0: power 100 at 2 nodes, 140 at 8 nodes.
+        for _ in 0..10 {
+            d.push(0, 2.0, 120.0, 100.0);
+            d.push(0, 8.0, 120.0, 140.0);
+        }
+        // User 1: power 60 everywhere.
+        for _ in 0..10 {
+            d.push(1, 2.0, 120.0, 60.0);
+        }
+        d
+    }
+
+    #[test]
+    fn same_user_history_dominates() {
+        let knn = Knn::fit(&dataset(), KnnConfig::default()).unwrap();
+        let p = knn.predict(0, 2.0, 120.0);
+        assert!((p - 100.0).abs() < 1.0, "pred {p}");
+        let p8 = knn.predict(0, 8.0, 120.0);
+        assert!((p8 - 140.0).abs() < 1.0, "pred {p8}");
+    }
+
+    #[test]
+    fn interpolates_between_configurations() {
+        let knn = Knn::fit(
+            &dataset(),
+            KnnConfig {
+                k: 20,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let p = knn.predict(0, 5.0, 120.0);
+        assert!(p > 100.0 && p < 140.0, "pred {p}");
+    }
+
+    #[test]
+    fn unseen_user_falls_back_to_global() {
+        let knn = Knn::fit(&dataset(), KnnConfig::default()).unwrap();
+        let p = knn.predict(42, 2.0, 120.0);
+        // Nearest global points at 2 nodes: users 0 (100) and 1 (60).
+        assert!(p > 55.0 && p < 105.0, "pred {p}");
+    }
+
+    #[test]
+    fn k_one_memorizes() {
+        let mut d = Dataset::default();
+        d.push(0, 1.0, 60.0, 111.0);
+        d.push(0, 4.0, 60.0, 222.0);
+        let knn = Knn::fit(
+            &d,
+            KnnConfig {
+                k: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(knn.predict(0, 1.0, 60.0), 111.0);
+        assert_eq!(knn.predict(0, 4.0, 60.0), 222.0);
+    }
+
+    #[test]
+    fn rejects_bad_config_and_data() {
+        let d = dataset();
+        assert!(Knn::fit(
+            &d,
+            KnnConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let empty = Dataset::default();
+        assert!(Knn::fit(&empty, KnnConfig::default()).is_err());
+    }
+
+    #[test]
+    fn prediction_within_target_range() {
+        let d = dataset();
+        let knn = Knn::fit(&d, KnnConfig::default()).unwrap();
+        for user in [0, 1, 7] {
+            for nodes in [1.0, 4.0, 32.0] {
+                let p = knn.predict(user, nodes, 120.0);
+                // Weighted means stay within the convex hull of targets
+                // up to floating-point rounding.
+                assert!((60.0 - 1e-9..=140.0 + 1e-9).contains(&p), "pred {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn plain_mean_mode() {
+        let mut d = Dataset::default();
+        d.push(0, 1.0, 60.0, 100.0);
+        d.push(0, 1.0, 60.0, 200.0);
+        let knn = Knn::fit(
+            &d,
+            KnnConfig {
+                k: 2,
+                distance_weighted: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(knn.predict(0, 1.0, 60.0), 150.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Ordinary least-squares baseline.
+//!
+//! The paper dismisses "analytical, ad-hoc or rule-based approaches" as
+//! inaccurate. A linear model over the three features is the strongest
+//! such approach — including it quantifies exactly how much the
+//! non-linear template structure matters (spoiler: a lot; see the
+//! ablation bench).
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::Dataset;
+use crate::linalg::Matrix;
+use crate::{MlError, Regressor, Result};
+
+/// OLS over `[1, user, nodes, ln(walltime)]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Coefficients: intercept, user, nodes, ln(walltime).
+    coeffs: [f64; 4],
+}
+
+fn features(user: u32, nodes: f64, walltime: f64) -> [f64; 4] {
+    [1.0, user as f64, nodes, walltime.max(1.0).ln()]
+}
+
+impl LinearModel {
+    /// Fits by solving the normal equations (4×4, ridge-stabilized).
+    pub fn fit(data: &Dataset) -> Result<Self> {
+        if data.len() < 5 {
+            return Err(MlError::NotEnoughData {
+                required: 5,
+                actual: data.len(),
+            });
+        }
+        let mut xtx = Matrix::zeros(4, 4);
+        let mut xty = [0.0f64; 4];
+        for i in 0..data.len() {
+            let (u, n, w) = data.features.row(i);
+            let x = features(u, n, w);
+            let y = data.targets[i];
+            for a in 0..4 {
+                for b in 0..4 {
+                    xtx[(a, b)] += x[a] * x[b];
+                }
+                xty[a] += x[a] * y;
+            }
+        }
+        xtx.ridge(1e-8 * data.len() as f64);
+        let solution = xtx
+            .solve(&xty)
+            .ok_or(MlError::InvalidConfig("normal equations singular"))?;
+        Ok(Self {
+            coeffs: [solution[0], solution[1], solution[2], solution[3]],
+        })
+    }
+
+    /// The fitted coefficients `[intercept, user, nodes, ln(walltime)]`.
+    pub fn coefficients(&self) -> [f64; 4] {
+        self.coeffs
+    }
+}
+
+impl Regressor for LinearModel {
+    fn predict(&self, user: u32, nodes: f64, walltime: f64) -> f64 {
+        let x = features(user, nodes, walltime);
+        x.iter().zip(&self.coeffs).map(|(xi, c)| xi * c).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcpower_stats::rng::SplitMix64;
+
+    #[test]
+    fn recovers_linear_ground_truth() {
+        let mut d = Dataset::default();
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..500 {
+            let nodes = 1.0 + rng.next_bounded(32) as f64;
+            let walltime = 60.0 * (1.0 + rng.next_bounded(12) as f64);
+            // y = 50 + 3*nodes + 10*ln(walltime) + noise
+            let y = 50.0 + 3.0 * nodes + 10.0 * walltime.ln() + rng.next_normal() * 0.5;
+            d.push(0, nodes, walltime, y);
+        }
+        let model = LinearModel::fit(&d).unwrap();
+        let c = model.coefficients();
+        assert!((c[2] - 3.0).abs() < 0.1, "nodes coeff {}", c[2]);
+        assert!((c[3] - 10.0).abs() < 0.5, "walltime coeff {}", c[3]);
+        let pred = model.predict(0, 10.0, 360.0);
+        let expected = 50.0 + 30.0 + 10.0 * 360.0f64.ln();
+        assert!((pred - expected).abs() < 2.0);
+    }
+
+    #[test]
+    fn cannot_capture_template_structure() {
+        // Users with idiosyncratic power levels that do not vary linearly
+        // with the user id: OLS must do poorly — the paper's point.
+        let mut d = Dataset::default();
+        let levels = [150.0, 60.0, 180.0, 90.0, 120.0];
+        for (user, &level) in levels.iter().enumerate() {
+            for _ in 0..50 {
+                d.push(user as u32, 4.0, 240.0, level);
+            }
+        }
+        let model = LinearModel::fit(&d).unwrap();
+        let worst = levels
+            .iter()
+            .enumerate()
+            .map(|(u, &l)| (model.predict(u as u32, 4.0, 240.0) - l).abs())
+            .fold(0.0, f64::max);
+        assert!(
+            worst > 20.0,
+            "a linear model should not fit non-monotone user levels (worst err {worst})"
+        );
+    }
+
+    #[test]
+    fn rejects_tiny_data() {
+        let mut d = Dataset::default();
+        d.push(0, 1.0, 60.0, 100.0);
+        assert!(LinearModel::fit(&d).is_err());
+    }
+
+    #[test]
+    fn constant_features_are_ridge_stable() {
+        let mut d = Dataset::default();
+        for i in 0..20 {
+            d.push(0, 4.0, 240.0, 100.0 + i as f64);
+        }
+        let model = LinearModel::fit(&d).unwrap();
+        let p = model.predict(0, 4.0, 240.0);
+        assert!((p - 109.5).abs() < 1.0, "pred {p}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Prediction-error metrics.
+//!
+//! The paper reports the **absolute prediction error**: "the absolute
+//! value of the difference between the actual per-node power consumption
+//! and the predicted per-node power consumption as percent of the actual
+//! per-node power consumption" — i.e. absolute percentage error, plotted
+//! as CDFs in Figs. 14-15.
+
+/// Absolute percentage error of one prediction (fraction, not percent).
+#[inline]
+pub fn abs_pct_error(actual: f64, predicted: f64) -> f64 {
+    debug_assert!(actual != 0.0, "actual must be non-zero");
+    ((actual - predicted) / actual).abs()
+}
+
+/// Element-wise absolute percentage errors.
+pub fn abs_pct_errors(actual: &[f64], predicted: &[f64]) -> Vec<f64> {
+    assert_eq!(actual.len(), predicted.len());
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| abs_pct_error(a, p))
+        .collect()
+}
+
+/// Mean absolute percentage error.
+pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
+    let errs = abs_pct_errors(actual, predicted);
+    errs.iter().sum::<f64>() / errs.len() as f64
+}
+
+/// Fraction of errors strictly below a threshold (e.g. `0.10` for the
+/// paper's "90% of predictions have less than 10% absolute error").
+pub fn fraction_below(errors: &[f64], threshold: f64) -> f64 {
+    if errors.is_empty() {
+        return f64::NAN;
+    }
+    errors.iter().filter(|&&e| e < threshold).count() as f64 / errors.len() as f64
+}
+
+/// Root mean squared error, for ablation comparisons.
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    let mse = actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a - p).powi(2))
+        .sum::<f64>()
+        / actual.len() as f64;
+    mse.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_pct_error_basic() {
+        assert!((abs_pct_error(100.0, 90.0) - 0.1).abs() < 1e-12);
+        assert!((abs_pct_error(100.0, 110.0) - 0.1).abs() < 1e-12);
+        assert_eq!(abs_pct_error(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn mape_averages() {
+        let m = mape(&[100.0, 200.0], &[110.0, 190.0]);
+        assert!((m - 0.075).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_below_counts_strictly() {
+        let errs = [0.05, 0.10, 0.15];
+        assert!((fraction_below(&errs, 0.10) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((fraction_below(&errs, 0.2) - 1.0).abs() < 1e-12);
+        assert!(fraction_below(&[], 0.1).is_nan());
+    }
+
+    #[test]
+    fn rmse_known() {
+        let r = rmse(&[1.0, 2.0, 3.0], &[1.0, 2.0, 5.0]);
+        assert!((r - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,522 @@
+//! CART regression tree — the paper's "Binary Decision Tree" (BDT).
+//!
+//! The paper attributes BDT's win to "explicit hierarchical prediction
+//! for the three features: first, based on user, then number of nodes and
+//! last, wall time". CART recovers exactly that hierarchy on its own:
+//! the user feature explains the most variance, so it is split first.
+//!
+//! The user feature is categorical; the optimal binary partition under an
+//! L2 criterion orders categories by their mean target and scans split
+//! points along that ordering (Breiman et al., 1984), which is what
+//! [`DecisionTree::fit`] does. Numeric features use standard
+//! sorted-threshold scans. Unseen users at prediction time follow the
+//! majority branch.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::Dataset;
+use crate::{MlError, Regressor, Result};
+
+/// Tree hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples a leaf may hold.
+    pub min_samples_leaf: usize,
+    /// Minimum samples a node needs to be considered for splitting.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 14,
+            min_samples_leaf: 2,
+            min_samples_split: 4,
+        }
+    }
+}
+
+/// Numeric features a node can split on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum NumFeature {
+    Nodes,
+    Walltime,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    NumericSplit {
+        feature: NumFeature,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
+    UserSplit {
+        /// Users routed left.
+        left_users: HashSet<u32>,
+        /// Users routed right (needed to detect unseen users).
+        right_users: HashSet<u32>,
+        /// Branch for users not seen at this node during training
+        /// (the majority branch).
+        default_left: bool,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A trained regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    config: TreeConfig,
+}
+
+struct Builder<'a> {
+    data: &'a Dataset,
+    config: TreeConfig,
+    nodes: Vec<Node>,
+}
+
+/// Sum of squared errors around the mean, from aggregate sums.
+#[inline]
+fn sse(sum: f64, sum2: f64, n: f64) -> f64 {
+    (sum2 - sum * sum / n).max(0.0)
+}
+
+struct BestSplit {
+    gain: f64,
+    kind: SplitKind,
+}
+
+enum SplitKind {
+    Numeric { feature: NumFeature, threshold: f64 },
+    User { left_users: HashSet<u32> },
+}
+
+impl<'a> Builder<'a> {
+    fn target(&self, i: usize) -> f64 {
+        self.data.targets[i]
+    }
+
+    fn numeric(&self, feature: NumFeature, i: usize) -> f64 {
+        match feature {
+            NumFeature::Nodes => self.data.features.nodes[i],
+            NumFeature::Walltime => self.data.features.walltimes[i],
+        }
+    }
+
+    /// Best numeric split of `indices` on `feature`, if any.
+    fn best_numeric(&self, indices: &mut [usize], feature: NumFeature) -> Option<BestSplit> {
+        let n = indices.len();
+        indices.sort_by(|&a, &b| {
+            self.numeric(feature, a)
+                .partial_cmp(&self.numeric(feature, b))
+                .expect("features are finite")
+        });
+        let total_sum: f64 = indices.iter().map(|&i| self.target(i)).sum();
+        let total_sum2: f64 = indices.iter().map(|&i| self.target(i).powi(2)).sum();
+        let parent_sse = sse(total_sum, total_sum2, n as f64);
+
+        let mut best: Option<BestSplit> = None;
+        let mut left_sum = 0.0;
+        let mut left_sum2 = 0.0;
+        for k in 0..n - 1 {
+            let t = self.target(indices[k]);
+            left_sum += t;
+            left_sum2 += t * t;
+            let v = self.numeric(feature, indices[k]);
+            let v_next = self.numeric(feature, indices[k + 1]);
+            if v == v_next {
+                continue; // cannot split between equal values
+            }
+            let left_n = (k + 1) as f64;
+            let right_n = (n - k - 1) as f64;
+            if (left_n as usize) < self.config.min_samples_leaf
+                || (right_n as usize) < self.config.min_samples_leaf
+            {
+                continue;
+            }
+            let gain = parent_sse
+                - sse(left_sum, left_sum2, left_n)
+                - sse(total_sum - left_sum, total_sum2 - left_sum2, right_n);
+            if best.as_ref().is_none_or(|b| gain > b.gain) {
+                best = Some(BestSplit {
+                    gain,
+                    kind: SplitKind::Numeric {
+                        feature,
+                        threshold: (v + v_next) / 2.0,
+                    },
+                });
+            }
+        }
+        best
+    }
+
+    /// Best categorical split on the user feature: order users by mean
+    /// target and scan prefix partitions.
+    fn best_user(&self, indices: &[usize]) -> Option<BestSplit> {
+        let mut groups: HashMap<u32, (f64, f64, usize)> = HashMap::new();
+        for &i in indices {
+            let t = self.target(i);
+            let e = groups.entry(self.data.features.users[i]).or_insert((0.0, 0.0, 0));
+            e.0 += t;
+            e.1 += t * t;
+            e.2 += 1;
+        }
+        if groups.len() < 2 {
+            return None;
+        }
+        let mut ordered: Vec<(u32, f64, f64, usize)> = groups
+            .into_iter()
+            .map(|(u, (s, s2, c))| (u, s, s2, c))
+            .collect();
+        ordered.sort_by(|a, b| {
+            (a.1 / a.3 as f64)
+                .partial_cmp(&(b.1 / b.3 as f64))
+                .expect("finite targets")
+        });
+
+        let n = indices.len() as f64;
+        let total_sum: f64 = ordered.iter().map(|g| g.1).sum();
+        let total_sum2: f64 = ordered.iter().map(|g| g.2).sum();
+        let parent_sse = sse(total_sum, total_sum2, n);
+
+        let mut best_gain = f64::NEG_INFINITY;
+        let mut best_cut = 0usize;
+        let mut left_sum = 0.0;
+        let mut left_sum2 = 0.0;
+        let mut left_n = 0usize;
+        for (k, g) in ordered.iter().enumerate().take(ordered.len() - 1) {
+            left_sum += g.1;
+            left_sum2 += g.2;
+            left_n += g.3;
+            let right_n = indices.len() - left_n;
+            if left_n < self.config.min_samples_leaf || right_n < self.config.min_samples_leaf {
+                continue;
+            }
+            let gain = parent_sse
+                - sse(left_sum, left_sum2, left_n as f64)
+                - sse(
+                    total_sum - left_sum,
+                    total_sum2 - left_sum2,
+                    right_n as f64,
+                );
+            if gain > best_gain {
+                best_gain = gain;
+                best_cut = k + 1;
+            }
+        }
+        if best_gain.is_finite() && best_gain > 0.0 {
+            let left_users: HashSet<u32> =
+                ordered[..best_cut].iter().map(|g| g.0).collect();
+            Some(BestSplit {
+                gain: best_gain,
+                kind: SplitKind::User { left_users },
+            })
+        } else {
+            None
+        }
+    }
+
+    fn build(&mut self, indices: &mut [usize], depth: usize) -> u32 {
+        let n = indices.len();
+        let mean = indices.iter().map(|&i| self.target(i)).sum::<f64>() / n as f64;
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf { value: mean });
+            (nodes.len() - 1) as u32
+        };
+        if depth >= self.config.max_depth || n < self.config.min_samples_split {
+            return make_leaf(&mut self.nodes);
+        }
+        // Candidate splits: user, nodes, walltime.
+        let mut candidates: Vec<BestSplit> = Vec::with_capacity(3);
+        if let Some(s) = self.best_user(indices) {
+            candidates.push(s);
+        }
+        if let Some(s) = self.best_numeric(indices, NumFeature::Nodes) {
+            candidates.push(s);
+        }
+        if let Some(s) = self.best_numeric(indices, NumFeature::Walltime) {
+            candidates.push(s);
+        }
+        let Some(best) = candidates
+            .into_iter()
+            .filter(|c| c.gain > 1e-12)
+            .max_by(|a, b| a.gain.partial_cmp(&b.gain).expect("finite gains"))
+        else {
+            return make_leaf(&mut self.nodes);
+        };
+
+        let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) = match &best.kind {
+            SplitKind::Numeric { feature, threshold } => indices
+                .iter()
+                .partition(|&&i| self.numeric(*feature, i) <= *threshold),
+            SplitKind::User { left_users } => indices
+                .iter()
+                .partition(|&&i| left_users.contains(&self.data.features.users[i])),
+        };
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return make_leaf(&mut self.nodes);
+        }
+        // Reserve this node's slot, then build children.
+        self.nodes.push(Node::Leaf { value: mean });
+        let slot = (self.nodes.len() - 1) as u32;
+        let left = self.build(&mut left_idx, depth + 1);
+        let right = self.build(&mut right_idx, depth + 1);
+        self.nodes[slot as usize] = match best.kind {
+            SplitKind::Numeric { feature, threshold } => Node::NumericSplit {
+                feature,
+                threshold,
+                left,
+                right,
+            },
+            SplitKind::User { left_users } => {
+                let right_users: HashSet<u32> = right_idx
+                    .iter()
+                    .map(|&i| self.data.features.users[i])
+                    .collect();
+                Node::UserSplit {
+                    default_left: left_idx.len() >= right_idx.len(),
+                    left_users,
+                    right_users,
+                    left,
+                    right,
+                }
+            }
+        };
+        slot
+    }
+}
+
+impl DecisionTree {
+    /// Fits a tree on the dataset.
+    pub fn fit(data: &Dataset, config: TreeConfig) -> Result<Self> {
+        if data.len() < 2 {
+            return Err(MlError::NotEnoughData {
+                required: 2,
+                actual: data.len(),
+            });
+        }
+        if config.min_samples_leaf == 0 || config.max_depth == 0 {
+            return Err(MlError::InvalidConfig(
+                "min_samples_leaf and max_depth must be positive",
+            ));
+        }
+        let mut builder = Builder {
+            data,
+            config,
+            nodes: Vec::new(),
+        };
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        let root = builder.build(&mut indices, 0);
+        debug_assert_eq!(root, 0);
+        Ok(Self {
+            nodes: builder.nodes,
+            config,
+        })
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: u32) -> usize {
+            match &nodes[i as usize] {
+                Node::Leaf { .. } => 1,
+                Node::NumericSplit { left, right, .. }
+                | Node::UserSplit { left, right, .. } => {
+                    1 + walk(nodes, *left).max(walk(nodes, *right))
+                }
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+
+    /// The hyper-parameters used to train.
+    pub fn config(&self) -> TreeConfig {
+        self.config
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn predict(&self, user: u32, nodes: f64, walltime: f64) -> f64 {
+        let mut i = 0u32;
+        loop {
+            match &self.nodes[i as usize] {
+                Node::Leaf { value } => return *value,
+                Node::NumericSplit {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = match feature {
+                        NumFeature::Nodes => nodes,
+                        NumFeature::Walltime => walltime,
+                    };
+                    i = if v <= *threshold { *left } else { *right };
+                }
+                Node::UserSplit {
+                    left_users,
+                    right_users,
+                    default_left,
+                    left,
+                    right,
+                } => {
+                    let go_left = if left_users.contains(&user) {
+                        true
+                    } else if right_users.contains(&user) {
+                        false
+                    } else {
+                        *default_left
+                    };
+                    i = if go_left { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user_dataset() -> Dataset {
+        // Users 0..4, each with a distinct deterministic power level plus
+        // small variation by nodes.
+        let mut d = Dataset::default();
+        for rep in 0..30 {
+            for user in 0..4u32 {
+                let nodes = ((rep % 4) + 1) as f64;
+                let power = 80.0 + user as f64 * 30.0 + nodes;
+                d.push(user, nodes, 120.0, power);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn learns_user_levels() {
+        let d = user_dataset();
+        let tree = DecisionTree::fit(&d, TreeConfig::default()).unwrap();
+        for user in 0..4u32 {
+            let pred = tree.predict(user, 2.0, 120.0);
+            let expected = 80.0 + user as f64 * 30.0 + 2.0;
+            assert!(
+                (pred - expected).abs() < 4.0,
+                "user {user}: pred {pred} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn perfectly_separable_numeric() {
+        let mut d = Dataset::default();
+        for i in 0..100 {
+            let nodes = (i % 10 + 1) as f64;
+            d.push(0, nodes, 60.0, if nodes <= 5.0 { 100.0 } else { 180.0 });
+        }
+        let tree = DecisionTree::fit(&d, TreeConfig::default()).unwrap();
+        assert!((tree.predict(0, 3.0, 60.0) - 100.0).abs() < 1e-9);
+        assert!((tree.predict(0, 8.0, 60.0) - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prediction_within_target_range() {
+        let d = user_dataset();
+        let tree = DecisionTree::fit(&d, TreeConfig::default()).unwrap();
+        let lo = d.targets.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = d.targets.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for user in 0..6u32 {
+            for nodes in [1.0, 4.0, 64.0] {
+                for wt in [30.0, 600.0] {
+                    let p = tree.predict(user, nodes, wt);
+                    assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unseen_user_gets_reasonable_value() {
+        let d = user_dataset();
+        let tree = DecisionTree::fit(&d, TreeConfig::default()).unwrap();
+        let p = tree.predict(999, 2.0, 120.0);
+        assert!(p > 80.0 && p < 180.0);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let d = user_dataset();
+        let cfg = TreeConfig {
+            max_depth: 2,
+            ..Default::default()
+        };
+        let tree = DecisionTree::fit(&d, cfg).unwrap();
+        assert!(tree.depth() <= 3); // root + 2 levels
+    }
+
+    #[test]
+    fn min_leaf_respected_on_tiny_data() {
+        let mut d = Dataset::default();
+        d.push(0, 1.0, 60.0, 100.0);
+        d.push(1, 2.0, 60.0, 150.0);
+        let cfg = TreeConfig {
+            min_samples_leaf: 2,
+            min_samples_split: 4,
+            max_depth: 5,
+        };
+        let tree = DecisionTree::fit(&d, cfg).unwrap();
+        // Cannot split (would leave 1-sample leaves): single leaf at mean.
+        assert_eq!(tree.node_count(), 1);
+        assert!((tree.predict(0, 1.0, 60.0) - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        let d = Dataset::default();
+        assert!(DecisionTree::fit(&d, TreeConfig::default()).is_err());
+        let mut one = Dataset::default();
+        one.push(0, 1.0, 60.0, 100.0);
+        assert!(DecisionTree::fit(&one, TreeConfig::default()).is_err());
+        let two = user_dataset();
+        let bad = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
+        assert!(DecisionTree::fit(&two, bad).is_err());
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let mut d = Dataset::default();
+        for i in 0..50 {
+            d.push(i % 5, (i % 8 + 1) as f64, 60.0, 42.0);
+        }
+        let tree = DecisionTree::fit(&d, TreeConfig::default()).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(2, 4.0, 60.0), 42.0);
+    }
+
+    #[test]
+    fn walltime_feature_is_used_when_informative() {
+        let mut d = Dataset::default();
+        for i in 0..200 {
+            let wt = if i % 2 == 0 { 60.0 } else { 600.0 };
+            d.push(0, 4.0, wt, if wt < 300.0 { 90.0 } else { 160.0 });
+        }
+        let tree = DecisionTree::fit(&d, TreeConfig::default()).unwrap();
+        assert!((tree.predict(0, 4.0, 60.0) - 90.0).abs() < 1e-9);
+        assert!((tree.predict(0, 4.0, 600.0) - 160.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,420 @@
+//! Streaming monitoring pipeline.
+//!
+//! Mirrors the paper's data-collection methodology (Sec. 2.2): continuous
+//! system monitoring samples every node once per minute; node samples are
+//! joined with scheduler accounting to produce per-job aggregates, and
+//! for a subset of jobs ("several time-resolved performance counters were
+//! also logged" for one month) full per-node series are retained.
+//!
+//! The pipeline never materializes the full telemetry: each job's samples
+//! are generated on the fly from the stateless [`PowerModel`] and folded
+//! into one-pass accumulators ([`hpcpower_stats::online`]). Jobs are
+//! processed in parallel with rayon; the per-minute system series is
+//! accumulated into thread-local buffers and reduced.
+
+use hpcpower_stats::online::{LaneTotals, SpatialSpreadTracker, TimeAboveMeanTracker};
+use hpcpower_trace::dataset::SystemSample;
+use hpcpower_trace::{JobId, JobPowerSummary, JobSeries};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::power::{JobPowerParams, PowerModel};
+use crate::scheduler::ScheduledJob;
+
+/// Which jobs get full per-node series retained.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstrumentConfig {
+    /// Window start (minutes since epoch).
+    pub start_min: u64,
+    /// Window end (exclusive).
+    pub end_min: u64,
+    /// Only jobs with at least this many nodes (spatial metrics need >1).
+    pub min_nodes: u32,
+    /// Total sample budget (nodes × minutes summed over kept jobs).
+    pub sample_budget: usize,
+}
+
+impl Default for InstrumentConfig {
+    fn default() -> Self {
+        Self {
+            start_min: 0,
+            end_min: u64::MAX,
+            min_nodes: 2,
+            sample_budget: 4_000_000,
+        }
+    }
+}
+
+/// Monitor output: per-job summaries (aligned with the input job slice),
+/// the per-minute system series, and retained series.
+#[derive(Debug, Clone)]
+pub struct MonitorOutput {
+    /// One summary per scheduled job, in input order; `id` is the input
+    /// index.
+    pub summaries: Vec<JobPowerSummary>,
+    /// Per-minute system samples over `[0, horizon_min)`.
+    pub system_series: Vec<SystemSample>,
+    /// Full series for the instrumented subset.
+    pub instrumented: Vec<JobSeries>,
+}
+
+/// Selects the instrumented job set deterministically (in input order,
+/// until the sample budget is exhausted).
+pub fn select_instrumented(
+    jobs: &[ScheduledJob],
+    eligible_app: &[bool],
+    cfg: &InstrumentConfig,
+) -> Vec<bool> {
+    let mut budget = cfg.sample_budget;
+    let mut flags = vec![false; jobs.len()];
+    for (i, job) in jobs.iter().enumerate() {
+        let app = job.request.app as usize;
+        if job.request.nodes < cfg.min_nodes
+            || job.start_min < cfg.start_min
+            || job.start_min >= cfg.end_min
+            || !eligible_app.get(app).copied().unwrap_or(false)
+        {
+            continue;
+        }
+        let samples = job.request.nodes as usize * (job.end_min - job.start_min) as usize;
+        if samples <= budget {
+            budget -= samples;
+            flags[i] = true;
+        }
+    }
+    flags
+}
+
+struct SystemAcc {
+    power: Vec<f64>,
+    active: Vec<u64>,
+}
+
+impl SystemAcc {
+    fn new(horizon: usize) -> Self {
+        Self {
+            power: vec![0.0; horizon],
+            active: vec![0; horizon],
+        }
+    }
+
+    fn merge(mut self, other: SystemAcc) -> Self {
+        for (a, b) in self.power.iter_mut().zip(&other.power) {
+            *a += *b;
+        }
+        for (a, b) in self.active.iter_mut().zip(&other.active) {
+            *a += *b;
+        }
+        self
+    }
+}
+
+/// Summarizes one job by streaming over its samples. Also returns the
+/// job's per-minute total power (for the system accumulator) via the
+/// `on_minute` callback: `(absolute_minute, total_power_w, nodes)`.
+fn summarize_job(
+    model: &PowerModel,
+    job: &ScheduledJob,
+    params: &JobPowerParams,
+    keep_series: bool,
+    mut on_minute: impl FnMut(u64, f64, u32),
+) -> (JobPowerSummary, Option<JobSeries>) {
+    let n_nodes = job.request.nodes;
+    let minutes = (job.end_min - job.start_min) as u32;
+    let tdp = model.config().tdp_w;
+
+    let mut job_power = TimeAboveMeanTracker::new(tdp * 1.05, 0.1);
+    let mut spread = SpatialSpreadTracker::new(tdp * 1.05, 0.1);
+    let mut energies = LaneTotals::new(n_nodes as usize);
+    let mut series = if keep_series {
+        Some(vec![0.0f64; n_nodes as usize * minutes as usize])
+    } else {
+        None
+    };
+    let mut total = 0.0;
+
+    for t in 0..minutes as u64 {
+        let mut minute_sum = 0.0;
+        let mut min_p = f64::INFINITY;
+        let mut max_p = f64::NEG_INFINITY;
+        for rank in 0..n_nodes {
+            let node_id = job.node_ids[rank as usize];
+            let p = model.sample(params, node_id, rank, t);
+            minute_sum += p;
+            min_p = min_p.min(p);
+            max_p = max_p.max(p);
+            energies.add(rank as usize, p);
+            if let Some(buf) = series.as_mut() {
+                buf[rank as usize * minutes as usize + t as usize] = p;
+            }
+        }
+        total += minute_sum;
+        job_power.push(minute_sum / n_nodes as f64);
+        spread.push(if n_nodes > 1 { max_p - min_p } else { 0.0 });
+        on_minute(job.start_min + t, minute_sum, n_nodes);
+    }
+
+    let summary = JobPowerSummary {
+        id: JobId::from_index(job.request_idx), // re-keyed by the caller
+        per_node_power_w: total / (n_nodes as f64 * minutes as f64),
+        energy_wmin: total,
+        peak_overshoot: job_power.peak_overshoot().max(0.0),
+        frac_time_above_10pct: job_power.fraction_above_mean_factor(1.10),
+        temporal_cv: job_power.temporal_cv(),
+        avg_spatial_spread_w: spread.average_spread(),
+        frac_time_spread_above_avg: spread.fraction_above_average(),
+        energy_imbalance: if n_nodes > 1 {
+            energies.relative_imbalance()
+        } else {
+            0.0
+        },
+    };
+    let series = series.map(|buf| {
+        JobSeries::new(JobId::from_index(job.request_idx), n_nodes, minutes, buf)
+            .expect("series shape is consistent by construction")
+    });
+    (summary, series)
+}
+
+/// Runs the monitoring pipeline over all scheduled jobs.
+///
+/// `params[i]` must describe `jobs[i]`. Summaries come back in input
+/// order with `id = input index`; callers re-key the ids when building a
+/// dataset. The system series covers `[0, horizon_min)`.
+pub fn monitor(
+    model: &PowerModel,
+    jobs: &[ScheduledJob],
+    params: &[JobPowerParams],
+    horizon_min: u64,
+    instrumented_flags: &[bool],
+) -> MonitorOutput {
+    assert_eq!(jobs.len(), params.len(), "jobs/params must align");
+    assert_eq!(jobs.len(), instrumented_flags.len());
+    let horizon = horizon_min as usize;
+
+    let (acc, mut per_job): (SystemAcc, Vec<(usize, JobPowerSummary, Option<JobSeries>)>) = jobs
+        .par_iter()
+        .enumerate()
+        .fold(
+            || (SystemAcc::new(horizon), Vec::new()),
+            |(mut acc, mut out), (i, job)| {
+                let (summary, series) = summarize_job(
+                    model,
+                    job,
+                    &params[i],
+                    instrumented_flags[i],
+                    |minute, power, nodes| {
+                        if (minute as usize) < horizon {
+                            acc.power[minute as usize] += power;
+                            acc.active[minute as usize] += nodes as u64;
+                        }
+                    },
+                );
+                let mut summary = summary;
+                summary.id = JobId::from_index(i);
+                let series = series.map(|mut s| {
+                    s.id = JobId::from_index(i);
+                    s
+                });
+                out.push((i, summary, series));
+                (acc, out)
+            },
+        )
+        .reduce(
+            || (SystemAcc::new(horizon), Vec::new()),
+            |(acc_a, mut out_a), (acc_b, mut out_b)| {
+                out_a.append(&mut out_b);
+                (acc_a.merge(acc_b), out_a)
+            },
+        );
+
+    per_job.sort_by_key(|(i, _, _)| *i);
+    let mut summaries = Vec::with_capacity(jobs.len());
+    let mut instrumented = Vec::new();
+    for (_, summary, series) in per_job {
+        summaries.push(summary);
+        if let Some(s) = series {
+            instrumented.push(s);
+        }
+    }
+
+    let system_series = (0..horizon)
+        .map(|m| SystemSample {
+            minute: m as u64,
+            active_nodes: acc.active[m] as u32,
+            total_power_w: acc.power[m],
+        })
+        .collect();
+
+    MonitorOutput {
+        summaries,
+        system_series,
+        instrumented,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerModelConfig;
+    use crate::workload::JobRequest;
+
+    fn job(idx: usize, start: u64, runtime: u64, nodes: u32, app: u32) -> ScheduledJob {
+        ScheduledJob {
+            request_idx: idx,
+            request: JobRequest {
+                user: 0,
+                template: 0,
+                app,
+                submit_min: start,
+                nodes,
+                walltime_req_min: runtime + 30,
+                runtime_min: runtime,
+            },
+            start_min: start,
+            end_min: start + runtime,
+            node_ids: (0..nodes).collect(),
+        }
+    }
+
+    fn flat_params(key: u64, base: f64) -> JobPowerParams {
+        JobPowerParams {
+            key,
+            base_w: base,
+            imbalance_sigma: 0.05,
+            spike_frac: 0.0,
+            spike_amp: 0.0,
+            dip_frac: 0.0,
+            dip_amp: 0.0,
+        }
+    }
+
+    fn model() -> PowerModel {
+        PowerModel::new(PowerModelConfig::default(), 7)
+    }
+
+    #[test]
+    fn summaries_match_job_count_and_order() {
+        let jobs = vec![job(0, 0, 60, 2, 0), job(1, 10, 120, 4, 0)];
+        let params = vec![flat_params(1, 100.0), flat_params(2, 150.0)];
+        let out = monitor(&model(), &jobs, &params, 200, &[false, false]);
+        assert_eq!(out.summaries.len(), 2);
+        assert_eq!(out.summaries[0].id, JobId(0));
+        assert_eq!(out.summaries[1].id, JobId(1));
+        assert!((out.summaries[0].per_node_power_w - 100.0).abs() < 8.0);
+        assert!((out.summaries[1].per_node_power_w - 150.0).abs() < 8.0);
+    }
+
+    #[test]
+    fn system_series_accounts_active_nodes() {
+        let jobs = vec![job(0, 0, 50, 2, 0), job(1, 20, 50, 3, 0)];
+        let params = vec![flat_params(1, 100.0), flat_params(2, 100.0)];
+        let out = monitor(&model(), &jobs, &params, 100, &[false, false]);
+        assert_eq!(out.system_series.len(), 100);
+        assert_eq!(out.system_series[0].active_nodes, 2);
+        assert_eq!(out.system_series[25].active_nodes, 5);
+        assert_eq!(out.system_series[60].active_nodes, 3);
+        assert_eq!(out.system_series[80].active_nodes, 0);
+        assert_eq!(out.system_series[80].total_power_w, 0.0);
+        assert!(out.system_series[25].total_power_w > out.system_series[0].total_power_w);
+    }
+
+    #[test]
+    fn energy_equals_series_integral() {
+        let jobs = vec![job(0, 0, 30, 3, 0)];
+        let params = vec![flat_params(3, 120.0)];
+        let out = monitor(&model(), &jobs, &params, 40, &[true]);
+        assert_eq!(out.instrumented.len(), 1);
+        let series = &out.instrumented[0];
+        let integral: f64 = series.node_energies().iter().sum();
+        assert!((integral - out.summaries[0].energy_wmin).abs() < 1e-6);
+        // Per-node power from the series matches the summary.
+        assert!(
+            (series.per_node_power() - out.summaries[0].per_node_power_w).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn instrumented_selection_respects_filters() {
+        let jobs = vec![
+            job(0, 0, 60, 1, 0),   // too few nodes
+            job(1, 0, 60, 4, 0),   // ok
+            job(2, 500, 60, 4, 0), // outside window
+            job(3, 0, 60, 4, 1),   // ineligible app
+        ];
+        let cfg = InstrumentConfig {
+            start_min: 0,
+            end_min: 100,
+            min_nodes: 2,
+            sample_budget: 1_000_000,
+        };
+        let flags = select_instrumented(&jobs, &[true, false], &cfg);
+        assert_eq!(flags, vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn instrumented_selection_respects_budget() {
+        let jobs = vec![job(0, 0, 100, 4, 0), job(1, 0, 100, 4, 0)];
+        let cfg = InstrumentConfig {
+            sample_budget: 450, // only the first job (400 samples) fits
+            ..Default::default()
+        };
+        let flags = select_instrumented(&jobs, &[true], &cfg);
+        assert_eq!(flags, vec![true, false]);
+    }
+
+    #[test]
+    fn single_node_job_has_zero_spatial_metrics() {
+        let jobs = vec![job(0, 0, 60, 1, 0)];
+        let params = vec![flat_params(9, 90.0)];
+        let out = monitor(&model(), &jobs, &params, 100, &[false]);
+        let s = &out.summaries[0];
+        assert_eq!(s.avg_spatial_spread_w, 0.0);
+        assert_eq!(s.energy_imbalance, 0.0);
+    }
+
+    #[test]
+    fn flat_job_rarely_exceeds_ten_pct_above_mean() {
+        let jobs = vec![job(0, 0, 400, 4, 0)];
+        let params = vec![flat_params(11, 140.0)];
+        let out = monitor(&model(), &jobs, &params, 500, &[false]);
+        let s = &out.summaries[0];
+        // Common noise sigma is 3%: +10% is a 3.3-sigma event.
+        assert!(s.frac_time_above_10pct < 0.02, "{}", s.frac_time_above_10pct);
+        assert!(s.peak_overshoot < 0.25, "{}", s.peak_overshoot);
+        assert!(s.temporal_cv < 0.08, "{}", s.temporal_cv);
+    }
+
+    #[test]
+    fn bursty_job_spends_time_above_mean() {
+        let jobs = vec![job(0, 0, 600, 4, 0)];
+        let params = vec![JobPowerParams {
+            key: 13,
+            base_w: 140.0,
+            imbalance_sigma: 0.04,
+            spike_frac: 0.3,
+            spike_amp: 0.25,
+            dip_frac: 0.0,
+            dip_amp: 0.0,
+        }];
+        let out = monitor(&model(), &jobs, &params, 700, &[false]);
+        let s = &out.summaries[0];
+        assert!(
+            s.frac_time_above_10pct > 0.05,
+            "bursty job should sit above mean sometimes: {}",
+            s.frac_time_above_10pct
+        );
+        assert!(s.peak_overshoot > 0.1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let jobs = vec![job(0, 0, 100, 8, 0), job(1, 50, 80, 2, 0)];
+        let params = vec![flat_params(21, 130.0), flat_params(22, 80.0)];
+        let a = monitor(&model(), &jobs, &params, 200, &[true, false]);
+        let b = monitor(&model(), &jobs, &params, 200, &[true, false]);
+        assert_eq!(a.summaries, b.summaries);
+        assert_eq!(a.system_series, b.system_series);
+        assert_eq!(a.instrumented, b.instrumented);
+    }
+}

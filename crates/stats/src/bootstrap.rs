@@ -1,0 +1,141 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! Used by the calibration tests to verify that the simulator's summary
+//! statistics are stable across seeds, and available to users who want
+//! uncertainty estimates on any of the paper's reported statistics.
+
+use crate::rng::SplitMix64;
+use crate::{Result, StatsError};
+
+/// A two-sided confidence interval with its point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Statistic computed on the full sample.
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+/// Percentile bootstrap for an arbitrary statistic.
+///
+/// Resamples `values` with replacement `resamples` times, evaluates
+/// `statistic` on each resample, and returns the percentile interval at
+/// the requested confidence `level`.
+pub fn bootstrap_ci<F>(
+    values: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if values.len() < 2 {
+        return Err(StatsError::NotEnoughSamples {
+            required: 2,
+            actual: values.len(),
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidInput("confidence level must be in (0,1)"));
+    }
+    if resamples == 0 {
+        return Err(StatsError::InvalidInput("need at least one resample"));
+    }
+    let estimate = statistic(values);
+    let mut rng = SplitMix64::new(seed);
+    let n = values.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = values[rng.next_bounded(n as u64) as usize];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic expected"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::quantile::quantile_sorted(&stats, alpha)?;
+    let hi = crate::quantile::quantile_sorted(&stats, 1.0 - alpha)?;
+    Ok(ConfidenceInterval {
+        estimate,
+        lo,
+        hi,
+        level,
+    })
+}
+
+/// Bootstrap CI for the mean.
+pub fn bootstrap_mean_ci(
+    values: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval> {
+    bootstrap_ci(
+        values,
+        |v| v.iter().sum::<f64>() / v.len() as f64,
+        resamples,
+        level,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_covers_true_mean() {
+        let mut rng = SplitMix64::new(4);
+        let data: Vec<f64> = (0..500).map(|_| 10.0 + rng.next_normal()).collect();
+        let ci = bootstrap_mean_ci(&data, 500, 0.95, 1).unwrap();
+        assert!(ci.lo <= 10.0 + 0.2 && ci.hi >= 10.0 - 0.2, "{ci:?}");
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+    }
+
+    #[test]
+    fn interval_narrows_with_sample_size() {
+        let mut rng = SplitMix64::new(8);
+        let small: Vec<f64> = (0..50).map(|_| rng.next_normal()).collect();
+        let large: Vec<f64> = (0..5000).map(|_| rng.next_normal()).collect();
+        let ci_small = bootstrap_mean_ci(&small, 300, 0.95, 2).unwrap();
+        let ci_large = bootstrap_mean_ci(&large, 300, 0.95, 2).unwrap();
+        assert!(ci_large.hi - ci_large.lo < ci_small.hi - ci_small.lo);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let a = bootstrap_mean_ci(&data, 200, 0.9, 7).unwrap();
+        let b = bootstrap_mean_ci(&data, 200, 0.9, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(bootstrap_mean_ci(&[1.0], 100, 0.95, 1).is_err());
+        assert!(bootstrap_mean_ci(&[1.0, 2.0], 0, 0.95, 1).is_err());
+        assert!(bootstrap_mean_ci(&[1.0, 2.0], 100, 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn works_for_custom_statistic() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_ci(
+            &data,
+            |v| crate::quantile::median(v).unwrap(),
+            200,
+            0.95,
+            3,
+        )
+        .unwrap();
+        assert!((ci.estimate - 4.5).abs() < 1e-9);
+        assert!(ci.lo >= 3.0 && ci.hi <= 6.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Most of the paper's figures are CDFs (Figs. 7, 9, 12, 14, 15). An
+//! [`Ecdf`] stores the sorted sample and evaluates `F(x)`, its inverse
+//! (quantiles), and fixed-grid series for plotting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::quantile::{quantile_sorted, sorted_clean};
+use crate::{Result, StatsError};
+
+/// Empirical CDF over a finite sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from (possibly unsorted, possibly NaN-containing)
+    /// values. NaNs are dropped. Errors if nothing remains.
+    pub fn new(values: &[f64]) -> Result<Self> {
+        let sorted = sorted_clean(values);
+        if sorted.is_empty() {
+            return Err(StatsError::NotEnoughSamples {
+                required: 1,
+                actual: 0,
+            });
+        }
+        Ok(Self { sorted })
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false (construction rejects empty samples).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `F(x)`: fraction of samples `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x when the
+        // predicate is `v <= x` over sorted data.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile), type-7 interpolation.
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        quantile_sorted(&self.sorted, q)
+    }
+
+    /// Mean of the sample.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Minimum of the sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum of the sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Fraction of samples strictly below `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&v| v < x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples `>= x`.
+    pub fn fraction_at_least(&self, x: f64) -> f64 {
+        1.0 - self.fraction_below(x)
+    }
+
+    /// `(x, F(x))` step series over the sample points — the exact CDF
+    /// staircase. For large samples prefer [`Ecdf::series_grid`].
+    pub fn series_steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// `(x, F(x))` evaluated on a uniform grid of `points` between min and
+    /// max — the compact series used by the figure harnesses.
+    pub fn series_grid(&self, points: usize) -> Vec<(f64, f64)> {
+        let points = points.max(2);
+        let lo = self.min();
+        let hi = self.max();
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let e = Ecdf::new(&[1.0, 1.0, 1.0, 2.0]).unwrap();
+        assert_eq!(e.eval(1.0), 0.75);
+        assert_eq!(e.fraction_below(1.0), 0.0);
+        assert_eq!(e.fraction_at_least(1.0), 1.0);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Ecdf::new(&[]).is_err());
+        assert!(Ecdf::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let data: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let e = Ecdf::new(&data).unwrap();
+        assert_eq!(e.quantile(0.5).unwrap(), 50.0);
+        assert_eq!(e.quantile(0.9).unwrap(), 90.0);
+    }
+
+    #[test]
+    fn eval_is_monotone() {
+        let data: Vec<f64> = (0..100).map(|i| ((i * 73) % 97) as f64).collect();
+        let e = Ecdf::new(&data).unwrap();
+        let mut last = 0.0;
+        for i in 0..200 {
+            let f = e.eval(i as f64 / 2.0);
+            assert!(f >= last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn step_series_ends_at_one() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0]).unwrap();
+        let steps = e.series_steps();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn grid_series_brackets_support() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0]).unwrap();
+        let grid = e.series_grid(5);
+        assert_eq!(grid.len(), 5);
+        assert_eq!(grid[0].0, 10.0);
+        assert_eq!(grid[4].0, 30.0);
+        assert_eq!(grid[4].1, 1.0);
+    }
+}

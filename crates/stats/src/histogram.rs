@@ -1,0 +1,245 @@
+//! Uniform-bin histograms and probability density estimates.
+//!
+//! The paper's Figs. 3 and 10 are PDF plots of per-node power and of
+//! node-energy imbalance. [`Histogram`] produces exactly that view: a
+//! uniform binning whose bar heights integrate to one.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, StatsError};
+
+/// A histogram with uniform bins over `[lo, hi)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if lo >= hi || lo.is_nan() || hi.is_nan() {
+            return Err(StatsError::InvalidInput("histogram needs lo < hi"));
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidInput("histogram needs at least one bin"));
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+            total: 0,
+        })
+    }
+
+    /// Builds a histogram over data with automatic range.
+    pub fn from_data(values: &[f64], bins: usize) -> Result<Self> {
+        let clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if clean.is_empty() {
+            return Err(StatsError::NotEnoughSamples {
+                required: 1,
+                actual: 0,
+            });
+        }
+        let lo = clean.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = clean.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // Widen degenerate ranges so every sample lands in-range.
+        let (lo, hi) = if lo == hi {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi + (hi - lo) * 1e-9)
+        };
+        let mut h = Self::new(lo, hi, bins)?;
+        for v in clean {
+            h.push(v);
+        }
+        Ok(h)
+    }
+
+    /// Records one observation. Out-of-range values are tallied in the
+    /// underflow/overflow counters and excluded from density mass.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.total += 1;
+        if value < self.lo {
+            self.below += 1;
+        } else if value >= self.hi {
+            self.above += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((value - self.lo) / width) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Lower edge of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Raw in-range bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below range.
+    pub fn underflow(&self) -> u64 {
+        self.below
+    }
+
+    /// Observations at or above the upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.above
+    }
+
+    /// Total observations pushed (including out of range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Probability density estimate: heights such that
+    /// `sum(height * bin_width) = in-range mass / total`.
+    pub fn density(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let norm = 1.0 / (self.total as f64 * self.bin_width());
+        self.counts.iter().map(|&c| c as f64 * norm).collect()
+    }
+
+    /// `(bin_center, density)` pairs, the series the paper plots.
+    pub fn density_series(&self) -> Vec<(f64, f64)> {
+        self.density()
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (self.bin_center(i), d))
+            .collect()
+    }
+
+    /// Fraction of in-range observations (relative frequency) per bin.
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Histogram::new(1.0, 1.0, 10).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn counts_land_in_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for v in [0.5, 1.5, 1.7, 9.9] {
+            h.push(v);
+        }
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn overflow_underflow_tracked() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.push(-1.0);
+        h.push(10.0); // upper edge is exclusive
+        h.push(11.0);
+        h.push(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram::new(0.0, 100.0, 25).unwrap();
+        let mut rng = crate::rng::SplitMix64::new(42);
+        for _ in 0..10_000 {
+            h.push(rng.next_f64() * 100.0);
+        }
+        let mass: f64 = h.density().iter().map(|d| d * h.bin_width()).sum();
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+    }
+
+    #[test]
+    fn from_data_covers_all_values() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let h = Histogram::from_data(&data, 4).unwrap();
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.counts().iter().sum::<u64>(), data.len() as u64);
+    }
+
+    #[test]
+    fn from_data_degenerate_range() {
+        let h = Histogram::from_data(&[5.0, 5.0, 5.0], 3).unwrap();
+        assert_eq!(h.counts().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn from_data_empty_errors() {
+        assert!(Histogram::from_data(&[], 3).is_err());
+        assert!(Histogram::from_data(&[f64::NAN], 3).is_err());
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_series_pairs_match() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.push(0.5);
+        h.push(2.5);
+        let series = h.density_series();
+        assert_eq!(series.len(), 4);
+        assert!(series[0].1 > 0.0);
+        assert!(series[1].1 == 0.0);
+    }
+}

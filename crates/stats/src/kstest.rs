@@ -1,0 +1,136 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Used by the calibration tooling to compare the *shape* of a simulated
+//! distribution (e.g. per-node power) against a reference sample, beyond
+//! the mean/σ bands: the KS statistic is the maximum CDF gap, and the
+//! asymptotic p-value tells whether two traces could plausibly come from
+//! the same population.
+
+use crate::quantile::sorted_clean;
+use crate::{Result, StatsError};
+
+/// KS test outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic: `sup_x |F1(x) - F2(x)|`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution).
+    pub p_value: f64,
+    /// Sample sizes.
+    pub n1: usize,
+    /// Second sample size.
+    pub n2: usize,
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} e^{-2 k² λ²}`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Two-sample KS test. NaNs are dropped; both samples need ≥ 2 values.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<KsTest> {
+    let sa = sorted_clean(a);
+    let sb = sorted_clean(b);
+    if sa.len() < 2 || sb.len() < 2 {
+        return Err(StatsError::NotEnoughSamples {
+            required: 2,
+            actual: sa.len().min(sb.len()),
+        });
+    }
+    // Merge walk computing the max CDF gap.
+    let (n1, n2) = (sa.len(), sb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < n1 && j < n2 {
+        let x = sa[i].min(sb[j]);
+        while i < n1 && sa[i] <= x {
+            i += 1;
+        }
+        while j < n2 && sb[j] <= x {
+            j += 1;
+        }
+        let gap = (i as f64 / n1 as f64 - j as f64 / n2 as f64).abs();
+        d = d.max(gap);
+    }
+    let ne = (n1 as f64 * n2 as f64) / (n1 + n2) as f64;
+    let sqrt_ne = ne.sqrt();
+    // Asymptotic with the Stephens small-sample correction.
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    Ok(KsTest {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+        n1,
+        n2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn identical_samples_have_high_p() {
+        let a: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let t = ks_two_sample(&a, &a).unwrap();
+        assert!(t.statistic < 1e-12);
+        assert!(t.p_value > 0.99);
+    }
+
+    #[test]
+    fn same_distribution_not_rejected() {
+        let mut rng = SplitMix64::new(1);
+        let a: Vec<f64> = (0..500).map(|_| rng.next_normal()).collect();
+        let b: Vec<f64> = (0..500).map(|_| rng.next_normal()).collect();
+        let t = ks_two_sample(&a, &b).unwrap();
+        assert!(t.p_value > 0.01, "p {} for same distribution", t.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_rejected() {
+        let mut rng = SplitMix64::new(2);
+        let a: Vec<f64> = (0..500).map(|_| rng.next_normal()).collect();
+        let b: Vec<f64> = (0..500).map(|_| rng.next_normal() + 0.5).collect();
+        let t = ks_two_sample(&a, &b).unwrap();
+        assert!(t.p_value < 1e-6, "p {} for shifted distribution", t.p_value);
+        assert!(t.statistic > 0.15);
+    }
+
+    #[test]
+    fn statistic_bounded_by_one() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [10.0, 11.0, 12.0];
+        let t = ks_two_sample(&a, &b).unwrap();
+        assert!((t.statistic - 1.0).abs() < 1e-12);
+        assert!(t.p_value < 0.05);
+    }
+
+    #[test]
+    fn rejects_tiny_samples() {
+        assert!(ks_two_sample(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(ks_two_sample(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_values() {
+        // Q(0.5) ~ 0.9639, Q(1.0) ~ 0.2700, Q(1.5) ~ 0.0222.
+        assert!((kolmogorov_sf(0.5) - 0.9639).abs() < 1e-3);
+        assert!((kolmogorov_sf(1.0) - 0.2700).abs() < 1e-3);
+        assert!((kolmogorov_sf(1.5) - 0.0222).abs() < 1e-3);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+    }
+}

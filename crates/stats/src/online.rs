@@ -1,0 +1,320 @@
+//! Streaming accumulators for the monitoring pipeline.
+//!
+//! The paper's temporal and spatial metrics (Figs. 6-10) are all defined
+//! on per-minute samples. Computing them for ~80k jobs over 5 months
+//! would require storing ~10⁸ samples if done offline; instead the
+//! simulator's monitor folds every sample into these one-pass
+//! accumulators, mirroring how the real clusters' "continuous system
+//! monitoring" aggregated data in production.
+
+use crate::describe::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Re-export: the basic streaming summary is [`Summary`] itself.
+pub type StreamingStats = Summary;
+
+/// Tracks how much time a signal spends above a threshold that is only
+/// known *after* the fact (a fraction of the signal's own mean).
+///
+/// The paper's Fig. 7(b) metric — "percentage of runtime spent 10% above
+/// the mean power consumption" — needs the mean of the whole run before
+/// the threshold is known. A strict one-pass computation is impossible,
+/// so this accumulator quantizes samples to the nearest multiple of
+/// `resolution` in a compact histogram and resolves the count in a second
+/// pass over the *histogram* (not the samples). The result is exact for
+/// signals quantized at `resolution`, and within `resolution / 2` of the
+/// true threshold otherwise — sub-watt for the power analyses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeAboveMeanTracker {
+    /// Histogram of samples, bucketed at `resolution` watts.
+    counts: Vec<u32>,
+    resolution: f64,
+    max_value: f64,
+    summary: Summary,
+}
+
+impl TimeAboveMeanTracker {
+    /// Creates a tracker for signals in `[0, max_value]` with the given
+    /// bucket resolution (in signal units).
+    pub fn new(max_value: f64, resolution: f64) -> Self {
+        assert!(max_value > 0.0 && resolution > 0.0);
+        let buckets = (max_value / resolution).ceil() as usize + 2;
+        Self {
+            counts: vec![0; buckets],
+            resolution,
+            max_value,
+            summary: Summary::new(),
+        }
+    }
+
+    /// Records one sample. Values outside `[0, max_value]` are clamped.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        let v = value.clamp(0.0, self.max_value);
+        // Nearest-multiple quantization: bucket i represents the value
+        // `i * resolution` exactly.
+        let idx = ((v / self.resolution).round() as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.summary.push(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Mean of all recorded samples.
+    pub fn mean(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// The underlying running summary.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Fraction of samples strictly above `factor * mean` (e.g.
+    /// `factor = 1.10` for the paper's "10% above the mean" metric).
+    ///
+    /// Resolution-limited: each bucket is treated as its representative
+    /// value `i * resolution`, so the answer is exact up to quantization
+    /// error of `resolution / 2` in sample values.
+    pub fn fraction_above_mean_factor(&self, factor: f64) -> f64 {
+        let n = self.summary.count();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let threshold = self.summary.mean() * factor;
+        let mut above = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 && i as f64 * self.resolution > threshold {
+                above += c as u64;
+            }
+        }
+        above as f64 / n as f64
+    }
+
+    /// Peak overshoot relative to the mean: `max / mean - 1`
+    /// (the Fig. 7(a) metric).
+    pub fn peak_overshoot(&self) -> f64 {
+        let m = self.summary.mean();
+        if self.summary.count() == 0 || m <= 0.0 {
+            return f64::NAN;
+        }
+        self.summary.max() / m - 1.0
+    }
+
+    /// Temporal coefficient of variation of the signal.
+    pub fn temporal_cv(&self) -> f64 {
+        self.summary.cv()
+    }
+}
+
+/// Tracks the spatial spread of a per-node signal over time.
+///
+/// At each timestep the caller reports the (max - min) across nodes; the
+/// tracker accumulates the paper's Fig. 8/9 metrics: the *average spatial
+/// spread* and the fraction of timesteps whose spread exceeds it. Like
+/// [`TimeAboveMeanTracker`], the "above average" part needs the average
+/// first, so spreads are bucketed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpatialSpreadTracker {
+    counts: Vec<u32>,
+    resolution: f64,
+    max_value: f64,
+    summary: Summary,
+}
+
+impl SpatialSpreadTracker {
+    /// Creates a tracker for spreads in `[0, max_value]`.
+    pub fn new(max_value: f64, resolution: f64) -> Self {
+        assert!(max_value > 0.0 && resolution > 0.0);
+        let buckets = (max_value / resolution).ceil() as usize + 2;
+        Self {
+            counts: vec![0; buckets],
+            resolution,
+            max_value,
+            summary: Summary::new(),
+        }
+    }
+
+    /// Records the spread observed at one timestep.
+    #[inline]
+    pub fn push(&mut self, spread: f64) {
+        let v = spread.clamp(0.0, self.max_value);
+        let idx = ((v / self.resolution).round() as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.summary.push(v);
+    }
+
+    /// Number of timesteps recorded.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Average spatial spread over the runtime (Fig. 9(a) metric).
+    pub fn average_spread(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// Fraction of timesteps whose spread strictly exceeds the average
+    /// spread (Fig. 9(c) metric). Quantization error bounded by
+    /// `resolution / 2`.
+    pub fn fraction_above_average(&self) -> f64 {
+        let n = self.summary.count();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let threshold = self.summary.mean();
+        let mut above = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 && i as f64 * self.resolution > threshold {
+                above += c as u64;
+            }
+        }
+        above as f64 / n as f64
+    }
+}
+
+/// Running min/max/sum per lane, for tracking per-node energy totals.
+///
+/// Feeds the Fig. 10 metric: the relative difference between the most-
+/// and least-consuming node of a job, `(max - min) / min`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaneTotals {
+    totals: Vec<f64>,
+}
+
+impl LaneTotals {
+    /// Creates totals for `lanes` parallel lanes (nodes).
+    pub fn new(lanes: usize) -> Self {
+        Self {
+            totals: vec![0.0; lanes],
+        }
+    }
+
+    /// Adds `value` to lane `lane`.
+    #[inline]
+    pub fn add(&mut self, lane: usize, value: f64) {
+        self.totals[lane] += value;
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// The accumulated totals.
+    pub fn totals(&self) -> &[f64] {
+        &self.totals
+    }
+
+    /// Relative max-min imbalance: `(max - min) / min`.
+    ///
+    /// Returns NaN for zero lanes and +inf when the minimum is zero but
+    /// the maximum is not.
+    pub fn relative_imbalance(&self) -> f64 {
+        if self.totals.is_empty() {
+            return f64::NAN;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &t in &self.totals {
+            min = min.min(t);
+            max = max.max(t);
+        }
+        if min == 0.0 && max == 0.0 {
+            0.0
+        } else {
+            (max - min) / min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_above_mean_flat_signal() {
+        let mut t = TimeAboveMeanTracker::new(250.0, 0.5);
+        for _ in 0..100 {
+            t.push(100.0);
+        }
+        assert_eq!(t.count(), 100);
+        assert!((t.mean() - 100.0).abs() < 1e-9);
+        assert!(t.fraction_above_mean_factor(1.10) < 1e-9);
+        assert!(t.peak_overshoot().abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_above_mean_known_fraction() {
+        // 90 samples at 100 W, 10 samples at 150 W. Mean = 105.
+        // Threshold at 1.10*105 = 115.5 -> exactly the 10 samples at 150.
+        let mut t = TimeAboveMeanTracker::new(250.0, 0.5);
+        for _ in 0..90 {
+            t.push(100.0);
+        }
+        for _ in 0..10 {
+            t.push(150.0);
+        }
+        let frac = t.fraction_above_mean_factor(1.10);
+        assert!((frac - 0.10).abs() < 0.005, "frac {frac}");
+        let overshoot = t.peak_overshoot();
+        assert!((overshoot - (150.0 / 105.0 - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_above_mean_clamps() {
+        let mut t = TimeAboveMeanTracker::new(100.0, 1.0);
+        t.push(-5.0);
+        t.push(500.0);
+        assert_eq!(t.count(), 2);
+        assert!((t.mean() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spatial_tracker_average_and_fraction() {
+        // Spread alternates 10 and 30 -> average 20; half the time above.
+        let mut s = SpatialSpreadTracker::new(250.0, 0.5);
+        for i in 0..100 {
+            s.push(if i % 2 == 0 { 10.0 } else { 30.0 });
+        }
+        assert!((s.average_spread() - 20.0).abs() < 0.5);
+        let f = s.fraction_above_average();
+        assert!((f - 0.5).abs() < 0.02, "fraction {f}");
+    }
+
+    #[test]
+    fn spatial_tracker_constant_spread() {
+        let mut s = SpatialSpreadTracker::new(100.0, 0.25);
+        for _ in 0..50 {
+            s.push(15.0);
+        }
+        assert!((s.average_spread() - 15.0).abs() < 0.25);
+        // Constant signal: no sample is strictly above the mean.
+        assert_eq!(s.fraction_above_average(), 0.0);
+    }
+
+    #[test]
+    fn lane_totals_imbalance() {
+        let mut l = LaneTotals::new(4);
+        for minute in 0..60 {
+            let _ = minute;
+            l.add(0, 100.0);
+            l.add(1, 105.0);
+            l.add(2, 110.0);
+            l.add(3, 120.0);
+        }
+        let imb = l.relative_imbalance();
+        assert!((imb - 0.20).abs() < 1e-9, "imbalance {imb}");
+    }
+
+    #[test]
+    fn lane_totals_degenerate() {
+        let l = LaneTotals::new(0);
+        assert!(l.relative_imbalance().is_nan());
+        let z = LaneTotals::new(3);
+        assert_eq!(z.relative_imbalance(), 0.0);
+    }
+}

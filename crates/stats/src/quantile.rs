@@ -1,0 +1,125 @@
+//! Quantiles and order statistics.
+//!
+//! The job-level split analyses (Fig. 5) divide jobs at the *median*
+//! runtime and *median* size; the prediction analysis reports error
+//! percentiles. These helpers implement linear-interpolation quantiles
+//! (type-7, the R/NumPy default) over sorted or unsorted data.
+
+use crate::{Result, StatsError};
+
+/// Returns a sorted copy of `values` with NaNs removed.
+pub fn sorted_clean(values: &[f64]) -> Vec<f64> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+    v
+}
+
+/// Quantile `q in [0, 1]` of **sorted** data, type-7 interpolation.
+///
+/// Panics in debug builds if the data is not sorted.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Result<f64> {
+    if sorted.is_empty() {
+        return Err(StatsError::NotEnoughSamples {
+            required: 1,
+            actual: 0,
+        });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidInput("quantile must be in [0, 1]"));
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile_sorted requires sorted input"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Quantile of unsorted data (sorts a copy).
+pub fn quantile(values: &[f64], q: f64) -> Result<f64> {
+    let sorted = sorted_clean(values);
+    quantile_sorted(&sorted, q)
+}
+
+/// Median of unsorted data.
+pub fn median(values: &[f64]) -> Result<f64> {
+    quantile(values, 0.5)
+}
+
+/// Several quantiles at once over one sorted copy; more efficient than
+/// repeated [`quantile`] calls.
+pub fn quantiles(values: &[f64], qs: &[f64]) -> Result<Vec<f64>> {
+    let sorted = sorted_clean(values);
+    qs.iter().map(|&q| quantile_sorted(&sorted, q)).collect()
+}
+
+/// Interquartile range (Q3 - Q1).
+pub fn iqr(values: &[f64]) -> Result<f64> {
+    let sorted = sorted_clean(values);
+    Ok(quantile_sorted(&sorted, 0.75)? - quantile_sorted(&sorted, 0.25)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let data = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        // Sorted: [10, 20, 30, 40]; q=0.25 -> pos 0.75 -> 17.5.
+        let data = [40.0, 10.0, 30.0, 20.0];
+        assert!((quantile(&data, 0.25).unwrap() - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_single_value() {
+        assert_eq!(quantile(&[7.0], 0.3).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_input() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn nan_filtered() {
+        assert_eq!(median(&[1.0, f64::NAN, 3.0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn iqr_known() {
+        let data: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+        assert!((iqr(&data).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_batch_matches_individual() {
+        let data: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        let qs = [0.1, 0.5, 0.9];
+        let batch = quantiles(&data, &qs).unwrap();
+        for (i, &q) in qs.iter().enumerate() {
+            assert_eq!(batch[i], quantile(&data, q).unwrap());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Ranking with ties (fractional/average ranks).
+//!
+//! Spearman correlation is Pearson correlation over ranks; ties must be
+//! assigned their average rank or the coefficient is biased. Job node
+//! counts and requested wall times are heavily tied in real accounting
+//! data, so correct tie handling matters for Table 2.
+
+/// Assigns 1-based average ranks to `values`, handling ties by assigning
+/// each tied group the mean of the ranks it spans. NaNs receive NaN ranks.
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    // NaNs sort last and get NaN ranks below.
+    idx.sort_by(|&a, &b| match (values[a].is_nan(), values[b].is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => values[a].partial_cmp(&values[b]).expect("non-NaN"),
+    });
+    let mut ranks = vec![f64::NAN; n];
+    let mut i = 0;
+    while i < n {
+        let vi = values[idx[i]];
+        if vi.is_nan() {
+            break; // all remaining are NaN
+        }
+        // Find the tied run [i, j).
+        let mut j = i + 1;
+        while j < n && values[idx[j]] == vi {
+            j += 1;
+        }
+        // Average of ranks i+1 ..= j (1-based).
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &k in &idx[i..j] {
+            ranks[k] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ties() {
+        let r = average_ranks(&[30.0, 10.0, 20.0]);
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn simple_tie() {
+        // [1, 2, 2, 3] -> ranks [1, 2.5, 2.5, 4]
+        let r = average_ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn all_tied() {
+        let r = average_ranks(&[5.0; 4]);
+        assert_eq!(r, vec![2.5; 4]);
+    }
+
+    #[test]
+    fn nan_gets_nan_rank() {
+        let r = average_ranks(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(r[0], 2.0);
+        assert!(r[1].is_nan());
+        assert_eq!(r[2], 1.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(average_ranks(&[]).is_empty());
+    }
+
+    #[test]
+    fn rank_sum_invariant() {
+        // Without NaNs the ranks must sum to n(n+1)/2.
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        let r = average_ranks(&data);
+        let sum: f64 = r.iter().sum();
+        let n = data.len() as f64;
+        assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+}

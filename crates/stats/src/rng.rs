@@ -1,0 +1,409 @@
+//! Deterministic random number generation.
+//!
+//! The cluster simulator needs two flavours of randomness:
+//!
+//! 1. A fast sequential PRNG for workload generation ([`SplitMix64`]).
+//! 2. A **stateless, counter-based** generator ([`CounterRng`]) so the
+//!    power model can evaluate the sample for any `(job, node, minute)`
+//!    coordinate on demand without storing a stream position. This is the
+//!    trick that keeps the five-month, ~10⁸-node-minute telemetry
+//!    re-derivable instead of materialized.
+//!
+//! Both are built on the SplitMix64 finalizer, which passes BigCrush when
+//! used as a mixing function and is extremely cheap (3 xor-shift-multiply
+//! rounds).
+
+/// The SplitMix64 mixing function (Vigna, 2015).
+///
+/// Maps a 64-bit value to a well-scrambled 64-bit value. Used both as the
+/// state update for [`SplitMix64`] and as the keyed hash behind
+/// [`CounterRng`].
+#[inline]
+pub fn splitmix64_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes several words into one seed. Order-sensitive.
+#[inline]
+pub fn mix_words(words: &[u64]) -> u64 {
+    let mut acc = 0x6A09_E667_F3BC_C909; // sqrt(2) fractional bits
+    for &w in words {
+        acc = splitmix64_mix(acc ^ w);
+    }
+    acc
+}
+
+/// A tiny, fast, sequential PRNG (SplitMix64).
+///
+/// Statistically strong enough for simulation workloads and far faster
+/// than cryptographic generators. Deterministic for a given seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Distinct seeds produce
+    /// independent-looking streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> exactly representable dyadic rational in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    #[inline]
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire's multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Standard normal sample (Box–Muller; one value per call, the
+    /// antithetic twin is discarded to keep the generator stateless in
+    /// distribution terms).
+    #[inline]
+    pub fn next_normal(&mut self) -> f64 {
+        // Rejection-free Box-Muller. Guard u1 away from zero.
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    #[inline]
+    pub fn next_normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.next_normal()
+    }
+
+    /// Log-normal sample: `exp(N(mu, sigma))`.
+    #[inline]
+    pub fn next_lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.next_normal_with(mu, sigma).exp()
+    }
+
+    /// Exponential sample with the given rate (`lambda`).
+    #[inline]
+    pub fn next_exp(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0);
+        let u = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        -u.ln() / rate
+    }
+
+    /// Derives an independent child generator. Useful for giving each
+    /// simulated entity (user, job) its own stream.
+    pub fn fork(&mut self, tag: u64) -> SplitMix64 {
+        SplitMix64::new(mix_words(&[self.next_u64(), tag]))
+    }
+}
+
+/// Stateless counter-based generator: a keyed hash from coordinates to
+/// uniform/normal variates.
+///
+/// `CounterRng` carries only a 64-bit key. Every draw is addressed by an
+/// explicit counter, so the same `(key, counter)` pair always yields the
+/// same variate regardless of evaluation order — the property the power
+/// model relies on to re-derive any minute of telemetry on demand and in
+/// parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterRng {
+    key: u64,
+}
+
+impl CounterRng {
+    /// Creates a generator with the given key.
+    pub fn new(key: u64) -> Self {
+        Self { key }
+    }
+
+    /// Derives a sub-keyed generator (e.g. per-job from a per-system key).
+    #[inline]
+    pub fn derive(&self, tag: u64) -> CounterRng {
+        CounterRng {
+            key: splitmix64_mix(self.key ^ tag.rotate_left(17)),
+        }
+    }
+
+    /// Raw 64-bit output for a counter.
+    #[inline]
+    pub fn u64_at(&self, counter: u64) -> u64 {
+        splitmix64_mix(self.key ^ splitmix64_mix(counter))
+    }
+
+    /// Uniform `[0, 1)` sample for a counter.
+    #[inline]
+    pub fn f64_at(&self, counter: u64) -> f64 {
+        (self.u64_at(counter) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample addressed by a 2-D coordinate.
+    #[inline]
+    pub fn f64_at2(&self, a: u64, b: u64) -> f64 {
+        self.f64_at(a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b)
+    }
+
+    /// Standard normal sample for a counter (Box–Muller over two derived
+    /// uniforms; fully deterministic per coordinate).
+    #[inline]
+    pub fn normal_at(&self, counter: u64) -> f64 {
+        let u1 = self.f64_at(counter << 1).max(f64::MIN_POSITIVE);
+        let u2 = self.f64_at((counter << 1) | 1);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample addressed by a 2-D coordinate.
+    #[inline]
+    pub fn normal_at2(&self, a: u64, b: u64) -> f64 {
+        self.normal_at(a.wrapping_mul(0xD134_2543_DE82_EF95) ^ b)
+    }
+}
+
+/// Alias-method sampler for discrete distributions (Walker/Vose).
+///
+/// Samples an index from an arbitrary weighted distribution in O(1) after
+/// O(n) setup. Used by the workload generator to draw users, templates,
+/// and application classes under heavy-tailed activity weights.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights.
+    ///
+    /// Returns `None` if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() || weights.len() > u32::MAX as usize {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 || weights.iter().any(|&w| w.is_nan() || w < 0.0) {
+            return None;
+        }
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining entries are 1.0 up to rounding.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Some(Self { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws an index using the provided generator.
+    #[inline]
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let i = rng.next_bounded(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+/// Zipf-like weights `w_i = 1 / (i + 1)^s` for `i in 0..n`.
+///
+/// The user-activity model uses these to reproduce the paper's finding
+/// that ~20% of users account for ~85% of node-hours.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounded_respects_bound() {
+        let mut rng = SplitMix64::new(3);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let v = rng.next_bounded(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = SplitMix64::new(11);
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.next_normal();
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let mut rng = SplitMix64::new(5);
+        let n = 100_000;
+        let rate = 0.25;
+        let mean: f64 = (0..n).map(|_| rng.next_exp(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn counter_rng_is_order_independent() {
+        let rng = CounterRng::new(99);
+        let forward: Vec<f64> = (0..50).map(|i| rng.f64_at(i)).collect();
+        let backward: Vec<f64> = (0..50).rev().map(|i| rng.f64_at(i)).collect();
+        let backward_reversed: Vec<f64> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward_reversed);
+    }
+
+    #[test]
+    fn counter_rng_derive_changes_stream() {
+        let rng = CounterRng::new(1);
+        let child = rng.derive(2);
+        assert_ne!(rng.u64_at(0), child.u64_at(0));
+    }
+
+    #[test]
+    fn counter_normal_moments() {
+        let rng = CounterRng::new(123);
+        let n = 100_000u64;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for i in 0..n {
+            let x = rng.normal_at(i);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [1.0, 2.0, 4.0, 8.0];
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = SplitMix64::new(17);
+        let mut counts = [0usize; 4];
+        let n = 150_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "category {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_rejects_bad_input() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        let w = zipf_weights(10, 1.2);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+
+    #[test]
+    fn fork_streams_diverge() {
+        let mut parent = SplitMix64::new(1);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

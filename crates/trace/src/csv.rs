@@ -1,0 +1,320 @@
+//! CSV import/export in a Zenodo-like layout.
+//!
+//! The paper's released dataset is a set of flat tables; we mirror that:
+//!
+//! * `jobs.csv` — one row per job: accounting record + power summary.
+//! * `system.csv` — one row per minute: active nodes and total power.
+//!
+//! Writers/readers are hand-rolled (the schema is fixed and purely
+//! numeric, so a CSV dependency would be overkill) and stream through
+//! `BufRead`/`Write` so multi-hundred-MB traces do not need to fit in a
+//! string.
+
+use std::io::{BufRead, Write};
+
+use crate::dataset::SystemSample;
+use crate::ids::{AppId, JobId, UserId};
+use crate::job::{JobPowerSummary, JobRecord};
+use crate::{Result, TraceError};
+
+/// Header of `jobs.csv`.
+pub const JOBS_HEADER: &str = "job_id,user_id,app_id,submit_min,start_min,end_min,nodes,walltime_req_min,per_node_power_w,energy_wmin,peak_overshoot,frac_time_above_10pct,temporal_cv,avg_spatial_spread_w,frac_time_spread_above_avg,energy_imbalance";
+
+/// Header of `system.csv`.
+pub const SYSTEM_HEADER: &str = "minute,active_nodes,total_power_w";
+
+/// Writes the joined jobs table (accounting + power summary).
+pub fn write_jobs<W: Write>(
+    w: &mut W,
+    jobs: &[JobRecord],
+    summaries: &[JobPowerSummary],
+) -> Result<()> {
+    if jobs.len() != summaries.len() {
+        return Err(TraceError::Invalid(format!(
+            "jobs ({}) and summaries ({}) must align",
+            jobs.len(),
+            summaries.len()
+        )));
+    }
+    writeln!(w, "{JOBS_HEADER}")?;
+    for (j, s) in jobs.iter().zip(summaries) {
+        if j.id != s.id {
+            return Err(TraceError::Invalid(format!(
+                "record {} paired with summary {}",
+                j.id, s.id
+            )));
+        }
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            j.id.0,
+            j.user.0,
+            j.app.0,
+            j.submit_min,
+            j.start_min,
+            j.end_min,
+            j.nodes,
+            j.walltime_req_min,
+            s.per_node_power_w,
+            s.energy_wmin,
+            s.peak_overshoot,
+            s.frac_time_above_10pct,
+            s.temporal_cv,
+            s.avg_spatial_spread_w,
+            s.frac_time_spread_above_avg,
+            s.energy_imbalance,
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a jobs table written by [`write_jobs`].
+pub fn read_jobs<R: BufRead>(r: R) -> Result<(Vec<JobRecord>, Vec<JobPowerSummary>)> {
+    let mut jobs = Vec::new();
+    let mut summaries = Vec::new();
+    let mut lines = r.lines().enumerate();
+    let (_, header) = lines.next().ok_or(TraceError::Parse {
+        line: 1,
+        message: "empty file".into(),
+    })?;
+    let header = header?;
+    if header.trim() != JOBS_HEADER {
+        return Err(TraceError::Parse {
+            line: 1,
+            message: format!("unexpected header: {header}"),
+        });
+    }
+    for (i, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 16 {
+            return Err(TraceError::Parse {
+                line: lineno,
+                message: format!("expected 16 fields, got {}", fields.len()),
+            });
+        }
+        let perr = |what: &str| TraceError::Parse {
+            line: lineno,
+            message: format!("bad {what}"),
+        };
+        let u64_at = |k: usize, what: &str| fields[k].parse::<u64>().map_err(|_| perr(what));
+        let u32_at = |k: usize, what: &str| fields[k].parse::<u32>().map_err(|_| perr(what));
+        let f64_at = |k: usize, what: &str| fields[k].parse::<f64>().map_err(|_| perr(what));
+        let id = JobId(u32_at(0, "job_id")?);
+        jobs.push(JobRecord {
+            id,
+            user: UserId(u32_at(1, "user_id")?),
+            app: AppId(u32_at(2, "app_id")?),
+            submit_min: u64_at(3, "submit_min")?,
+            start_min: u64_at(4, "start_min")?,
+            end_min: u64_at(5, "end_min")?,
+            nodes: u32_at(6, "nodes")?,
+            walltime_req_min: u64_at(7, "walltime_req_min")?,
+        });
+        summaries.push(JobPowerSummary {
+            id,
+            per_node_power_w: f64_at(8, "per_node_power_w")?,
+            energy_wmin: f64_at(9, "energy_wmin")?,
+            peak_overshoot: f64_at(10, "peak_overshoot")?,
+            frac_time_above_10pct: f64_at(11, "frac_time_above_10pct")?,
+            temporal_cv: f64_at(12, "temporal_cv")?,
+            avg_spatial_spread_w: f64_at(13, "avg_spatial_spread_w")?,
+            frac_time_spread_above_avg: f64_at(14, "frac_time_spread_above_avg")?,
+            energy_imbalance: f64_at(15, "energy_imbalance")?,
+        });
+    }
+    Ok((jobs, summaries))
+}
+
+/// Writes the per-minute system table.
+pub fn write_system<W: Write>(w: &mut W, series: &[SystemSample]) -> Result<()> {
+    writeln!(w, "{SYSTEM_HEADER}")?;
+    for s in series {
+        writeln!(w, "{},{},{}", s.minute, s.active_nodes, s.total_power_w)?;
+    }
+    Ok(())
+}
+
+/// Reads a system table written by [`write_system`].
+pub fn read_system<R: BufRead>(r: R) -> Result<Vec<SystemSample>> {
+    let mut out = Vec::new();
+    let mut lines = r.lines().enumerate();
+    let (_, header) = lines.next().ok_or(TraceError::Parse {
+        line: 1,
+        message: "empty file".into(),
+    })?;
+    if header?.trim() != SYSTEM_HEADER {
+        return Err(TraceError::Parse {
+            line: 1,
+            message: "unexpected header".into(),
+        });
+    }
+    for (i, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let mut parts = line.split(',');
+        let mut next = |what: &str| {
+            parts.next().ok_or_else(|| TraceError::Parse {
+                line: lineno,
+                message: format!("missing {what}"),
+            })
+        };
+        let minute = next("minute")?.parse().map_err(|_| TraceError::Parse {
+            line: lineno,
+            message: "bad minute".into(),
+        })?;
+        let active_nodes = next("active_nodes")?
+            .parse()
+            .map_err(|_| TraceError::Parse {
+                line: lineno,
+                message: "bad active_nodes".into(),
+            })?;
+        let total_power_w = next("total_power_w")?
+            .parse()
+            .map_err(|_| TraceError::Parse {
+                line: lineno,
+                message: "bad total_power_w".into(),
+            })?;
+        out.push(SystemSample {
+            minute,
+            active_nodes,
+            total_power_w,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn sample_rows() -> (Vec<JobRecord>, Vec<JobPowerSummary>) {
+        let jobs = vec![
+            JobRecord {
+                id: JobId(0),
+                user: UserId(3),
+                app: AppId(1),
+                submit_min: 5,
+                start_min: 10,
+                end_min: 70,
+                nodes: 8,
+                walltime_req_min: 120,
+            },
+            JobRecord {
+                id: JobId(1),
+                user: UserId(4),
+                app: AppId(2),
+                submit_min: 6,
+                start_min: 20,
+                end_min: 50,
+                nodes: 1,
+                walltime_req_min: 60,
+            },
+        ];
+        let summaries = vec![
+            JobPowerSummary {
+                id: JobId(0),
+                per_node_power_w: 151.25,
+                energy_wmin: 72600.0,
+                peak_overshoot: 0.08,
+                frac_time_above_10pct: 0.0,
+                temporal_cv: 0.04,
+                avg_spatial_spread_w: 18.5,
+                frac_time_spread_above_avg: 0.35,
+                energy_imbalance: 0.07,
+            },
+            JobPowerSummary {
+                id: JobId(1),
+                per_node_power_w: 88.0,
+                energy_wmin: 2640.0,
+                peak_overshoot: 0.22,
+                frac_time_above_10pct: 0.12,
+                temporal_cv: 0.15,
+                avg_spatial_spread_w: 0.0,
+                frac_time_spread_above_avg: 0.0,
+                energy_imbalance: 0.0,
+            },
+        ];
+        (jobs, summaries)
+    }
+
+    #[test]
+    fn jobs_round_trip() {
+        let (jobs, summaries) = sample_rows();
+        let mut buf = Vec::new();
+        write_jobs(&mut buf, &jobs, &summaries).unwrap();
+        let (jobs2, summaries2) = read_jobs(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(jobs, jobs2);
+        assert_eq!(summaries, summaries2);
+    }
+
+    #[test]
+    fn system_round_trip() {
+        let series = vec![
+            SystemSample {
+                minute: 0,
+                active_nodes: 100,
+                total_power_w: 15000.5,
+            },
+            SystemSample {
+                minute: 1,
+                active_nodes: 101,
+                total_power_w: 15100.0,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_system(&mut buf, &series).unwrap();
+        let back = read_system(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(series, back);
+    }
+
+    #[test]
+    fn misaligned_rows_rejected() {
+        let (jobs, mut summaries) = sample_rows();
+        summaries.pop();
+        let mut buf = Vec::new();
+        assert!(write_jobs(&mut buf, &jobs, &summaries).is_err());
+    }
+
+    #[test]
+    fn mismatched_ids_rejected() {
+        let (jobs, mut summaries) = sample_rows();
+        summaries.swap(0, 1);
+        let mut buf = Vec::new();
+        assert!(write_jobs(&mut buf, &jobs, &summaries).is_err());
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let text = "nope\n1,2,3\n";
+        assert!(read_jobs(BufReader::new(text.as_bytes())).is_err());
+        assert!(read_system(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn bad_field_count_reports_line() {
+        let text = format!("{JOBS_HEADER}\n1,2,3\n");
+        match read_jobs(BufReader::new(text.as_bytes())) {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let (jobs, summaries) = sample_rows();
+        let mut buf = Vec::new();
+        write_jobs(&mut buf, &jobs, &summaries).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let (jobs2, _) = read_jobs(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(jobs2.len(), 2);
+    }
+}

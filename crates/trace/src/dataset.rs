@@ -1,0 +1,255 @@
+//! The dataset container: one system's worth of trace data.
+//!
+//! A [`TraceDataset`] bundles the system spec, all accounting records,
+//! their power summaries, the system-level per-minute utilization/power
+//! series, and (optionally) full per-node series for the instrumented
+//! subset — the same decomposition as the paper's Zenodo release.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AppId, JobId, UserId};
+use crate::job::{JobPowerSummary, JobRecord};
+use crate::series::JobSeries;
+use crate::system::SystemSpec;
+
+/// Per-minute system-level sample (Fig. 1 / Fig. 2 raw data).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemSample {
+    /// Minute since trace epoch.
+    pub minute: u64,
+    /// Number of nodes executing a job at this minute.
+    pub active_nodes: u32,
+    /// Total power drawn by all compute nodes in watts.
+    pub total_power_w: f64,
+}
+
+/// A complete power trace for one system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceDataset {
+    /// Hardware/system description.
+    pub system: SystemSpec,
+    /// Accounting records, indexed by `JobId` (record `i` has id `i`).
+    pub jobs: Vec<JobRecord>,
+    /// Power summaries aligned with `jobs` (same order and ids).
+    pub summaries: Vec<JobPowerSummary>,
+    /// System-level per-minute samples.
+    pub system_series: Vec<SystemSample>,
+    /// Full per-node series for the instrumented subset of jobs.
+    pub instrumented: Vec<JobSeries>,
+    /// Application names, indexed by `AppId`.
+    pub app_names: Vec<String>,
+    /// Number of distinct users.
+    pub user_count: u32,
+}
+
+impl TraceDataset {
+    /// Number of jobs in the dataset.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the dataset holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The accounting record for a job.
+    pub fn job(&self, id: JobId) -> Option<&JobRecord> {
+        self.jobs.get(id.index())
+    }
+
+    /// The power summary for a job.
+    pub fn summary(&self, id: JobId) -> Option<&JobPowerSummary> {
+        self.summaries.get(id.index())
+    }
+
+    /// Paired `(record, summary)` iterator.
+    pub fn iter_jobs(&self) -> impl Iterator<Item = (&JobRecord, &JobPowerSummary)> {
+        self.jobs.iter().zip(self.summaries.iter())
+    }
+
+    /// Application name for an id, or `"unknown"` if out of range.
+    pub fn app_name(&self, app: AppId) -> &str {
+        self.app_names
+            .get(app.index())
+            .map(String::as_str)
+            .unwrap_or("unknown")
+    }
+
+    /// Looks up an application id by name (case-sensitive).
+    pub fn app_id(&self, name: &str) -> Option<AppId> {
+        self.app_names
+            .iter()
+            .position(|n| n == name)
+            .map(AppId::from_index)
+    }
+
+    /// Per-node power values of all jobs, in job order. The Fig. 3 input.
+    pub fn per_node_powers(&self) -> Vec<f64> {
+        self.summaries.iter().map(|s| s.per_node_power_w).collect()
+    }
+
+    /// Groups job ids by user.
+    pub fn jobs_by_user(&self) -> HashMap<UserId, Vec<JobId>> {
+        let mut map: HashMap<UserId, Vec<JobId>> = HashMap::new();
+        for j in &self.jobs {
+            map.entry(j.user).or_default().push(j.id);
+        }
+        map
+    }
+
+    /// Groups job ids by application.
+    pub fn jobs_by_app(&self) -> HashMap<AppId, Vec<JobId>> {
+        let mut map: HashMap<AppId, Vec<JobId>> = HashMap::new();
+        for j in &self.jobs {
+            map.entry(j.app).or_default().push(j.id);
+        }
+        map
+    }
+
+    /// Jobs filtered by a predicate over `(record, summary)`.
+    pub fn filter_jobs<'a>(
+        &'a self,
+        mut pred: impl FnMut(&JobRecord, &JobPowerSummary) -> bool + 'a,
+    ) -> impl Iterator<Item = (&'a JobRecord, &'a JobPowerSummary)> + 'a {
+        self.iter_jobs().filter(move |(r, s)| pred(r, s))
+    }
+
+    /// Total energy delivered to jobs in watt-minutes.
+    pub fn total_energy_wmin(&self) -> f64 {
+        self.summaries.iter().map(|s| s.energy_wmin).sum()
+    }
+
+    /// Trace length in minutes (1 + the last minute observed in the
+    /// system series, or the last job end when no series is present).
+    pub fn duration_min(&self) -> u64 {
+        self.system_series
+            .last()
+            .map(|s| s.minute + 1)
+            .or_else(|| self.jobs.iter().map(|j| j.end_min).max())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn tiny_dataset() -> TraceDataset {
+        let _ = NodeId(0);
+        let jobs = vec![
+            JobRecord {
+                id: JobId(0),
+                user: UserId(0),
+                app: AppId(0),
+                submit_min: 0,
+                start_min: 0,
+                end_min: 60,
+                nodes: 2,
+                walltime_req_min: 120,
+            },
+            JobRecord {
+                id: JobId(1),
+                user: UserId(0),
+                app: AppId(1),
+                submit_min: 10,
+                start_min: 30,
+                end_min: 90,
+                nodes: 1,
+                walltime_req_min: 60,
+            },
+            JobRecord {
+                id: JobId(2),
+                user: UserId(1),
+                app: AppId(0),
+                submit_min: 20,
+                start_min: 60,
+                end_min: 180,
+                nodes: 4,
+                walltime_req_min: 240,
+            },
+        ];
+        let summaries = jobs
+            .iter()
+            .map(|j| JobPowerSummary {
+                id: j.id,
+                per_node_power_w: 100.0 + j.id.0 as f64 * 10.0,
+                energy_wmin: 1000.0,
+                peak_overshoot: 0.1,
+                frac_time_above_10pct: 0.0,
+                temporal_cv: 0.05,
+                avg_spatial_spread_w: 10.0,
+                frac_time_spread_above_avg: 0.3,
+                energy_imbalance: 0.05,
+            })
+            .collect();
+        TraceDataset {
+            system: SystemSpec::emmy().scaled(8),
+            jobs,
+            summaries,
+            system_series: vec![
+                SystemSample {
+                    minute: 0,
+                    active_nodes: 3,
+                    total_power_w: 300.0,
+                },
+                SystemSample {
+                    minute: 1,
+                    active_nodes: 3,
+                    total_power_w: 310.0,
+                },
+            ],
+            instrumented: vec![],
+            app_names: vec!["Gromacs".into(), "WRF".into()],
+            user_count: 2,
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let d = tiny_dataset();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.job(JobId(1)).unwrap().nodes, 1);
+        assert_eq!(d.summary(JobId(2)).unwrap().per_node_power_w, 120.0);
+        assert!(d.job(JobId(99)).is_none());
+    }
+
+    #[test]
+    fn app_name_round_trip() {
+        let d = tiny_dataset();
+        assert_eq!(d.app_name(AppId(0)), "Gromacs");
+        assert_eq!(d.app_id("WRF"), Some(AppId(1)));
+        assert_eq!(d.app_id("nope"), None);
+        assert_eq!(d.app_name(AppId(9)), "unknown");
+    }
+
+    #[test]
+    fn grouping() {
+        let d = tiny_dataset();
+        let by_user = d.jobs_by_user();
+        assert_eq!(by_user[&UserId(0)].len(), 2);
+        assert_eq!(by_user[&UserId(1)].len(), 1);
+        let by_app = d.jobs_by_app();
+        assert_eq!(by_app[&AppId(0)].len(), 2);
+    }
+
+    #[test]
+    fn filters_and_aggregates() {
+        let d = tiny_dataset();
+        let large: Vec<_> = d.filter_jobs(|r, _| r.nodes >= 2).collect();
+        assert_eq!(large.len(), 2);
+        assert!((d.total_energy_wmin() - 3000.0).abs() < 1e-9);
+        assert_eq!(d.duration_min(), 2);
+        assert_eq!(d.per_node_powers(), vec![100.0, 110.0, 120.0]);
+    }
+
+    #[test]
+    fn duration_falls_back_to_job_ends() {
+        let mut d = tiny_dataset();
+        d.system_series.clear();
+        assert_eq!(d.duration_min(), 180);
+    }
+}

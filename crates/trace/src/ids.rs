@@ -1,0 +1,100 @@
+//! Typed identifiers.
+//!
+//! Jobs, users, nodes, and applications are addressed by dense `u32`
+//! indices wrapped in newtypes so they cannot be confused with each other
+//! or with counts. Dense indices double as direct array offsets in the
+//! simulator and analyses.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs from a raw index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                Self(i as u32)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A job (one execution instance of an application).
+    JobId,
+    "job-"
+);
+id_type!(
+    /// A user account on one system.
+    UserId,
+    "user-"
+);
+id_type!(
+    /// A compute node within one system.
+    NodeId,
+    "node-"
+);
+id_type!(
+    /// An application class (e.g. Gromacs, FASTEST).
+    AppId,
+    "app-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        let j = JobId::from_index(42);
+        assert_eq!(j.index(), 42);
+        assert_eq!(j, JobId(42));
+    }
+
+    #[test]
+    fn display_has_prefix() {
+        assert_eq!(JobId(7).to_string(), "job-7");
+        assert_eq!(UserId(1).to_string(), "user-1");
+        assert_eq!(NodeId(0).to_string(), "node-0");
+        assert_eq!(AppId(3).to_string(), "app-3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(JobId(1) < JobId(2));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let s = serde_json::to_string(&UserId(9)).unwrap();
+        assert_eq!(s, "9");
+        let u: UserId = serde_json::from_str("9").unwrap();
+        assert_eq!(u, UserId(9));
+    }
+}

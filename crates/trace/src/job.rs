@@ -1,0 +1,188 @@
+//! Per-job records: accounting data and derived power summaries.
+//!
+//! A [`JobRecord`] carries exactly the fields a batch scheduler's
+//! accounting log provides (and hence everything that is known *before*
+//! execution plus the realized runtime). A [`JobPowerSummary`] carries the
+//! statistics the monitoring pipeline derives from the job's node-level
+//! power samples — per-node power, temporal metrics (Fig. 6) and spatial
+//! metrics (Fig. 8).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AppId, JobId, UserId};
+
+/// One batch job's accounting record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job identifier, unique within a dataset.
+    pub id: JobId,
+    /// Submitting user.
+    pub user: UserId,
+    /// Application class the job runs. Real accounting logs do not always
+    /// carry this; the paper "carefully parsed the job scheduler log to
+    /// identify major application names", and the simulator knows it by
+    /// construction.
+    pub app: AppId,
+    /// Submission time, minutes since trace epoch.
+    pub submit_min: u64,
+    /// Start of execution, minutes since trace epoch.
+    pub start_min: u64,
+    /// End of execution, minutes since trace epoch (exclusive).
+    pub end_min: u64,
+    /// Number of nodes allocated (node access is exclusive on both
+    /// systems, so this is also the number of nodes powered by the job).
+    pub nodes: u32,
+    /// Requested wall time in minutes (available at submission).
+    pub walltime_req_min: u64,
+}
+
+impl JobRecord {
+    /// Realized runtime in minutes.
+    pub fn runtime_min(&self) -> u64 {
+        self.end_min.saturating_sub(self.start_min)
+    }
+
+    /// Queue wait time in minutes.
+    pub fn wait_min(&self) -> u64 {
+        self.start_min.saturating_sub(self.submit_min)
+    }
+
+    /// Node-hours consumed (the accounting currency HPC centres charge).
+    pub fn node_hours(&self) -> f64 {
+        self.nodes as f64 * self.runtime_min() as f64 / 60.0
+    }
+}
+
+/// Power statistics of one job, as produced by the monitoring pipeline.
+///
+/// All metrics follow the paper's definitions:
+/// * `per_node_power_w` — power averaged over the job's entire runtime
+///   **and** all its nodes (Sec. 4): `P = Σ_t Σ_n p_{t,n} / (T·N)`.
+/// * `peak_overshoot` — `max_t(job power at t) / mean - 1` where the job
+///   power at `t` is averaged across nodes (Fig. 6, left).
+/// * `frac_time_above_10pct` — fraction of runtime the job's power is
+///   more than 10% above its mean (Fig. 6, right).
+/// * `temporal_cv` — std/mean of the job's across-node-averaged power
+///   over time ("the average standard deviation ... is only 11% of their
+///   respective means").
+/// * `avg_spatial_spread_w` — time-average of `max_n - min_n` (Fig. 8).
+/// * `frac_time_spread_above_avg` — fraction of runtime the spread
+///   exceeds its own average (Fig. 8, right).
+/// * `energy_imbalance` — `(max_n E_n - min_n E_n) / min_n E_n` over
+///   per-node total energies (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobPowerSummary {
+    /// Job this summary belongs to.
+    pub id: JobId,
+    /// Per-node power consumption in watts (runtime- and node-averaged).
+    pub per_node_power_w: f64,
+    /// Total energy consumed by the job in watt-minutes.
+    pub energy_wmin: f64,
+    /// Peak overshoot of the node-averaged power above its mean
+    /// (e.g. 0.12 = peak is 12% above mean).
+    pub peak_overshoot: f64,
+    /// Fraction of runtime spent more than 10% above the mean power.
+    pub frac_time_above_10pct: f64,
+    /// Coefficient of variation of the node-averaged power over time.
+    pub temporal_cv: f64,
+    /// Average spatial spread (max node - min node) in watts.
+    pub avg_spatial_spread_w: f64,
+    /// Fraction of runtime the spatial spread exceeds its average.
+    pub frac_time_spread_above_avg: f64,
+    /// Relative difference between most- and least-consuming node's
+    /// total energy.
+    pub energy_imbalance: f64,
+}
+
+impl JobPowerSummary {
+    /// Average spatial spread expressed as a fraction of the job's
+    /// per-node power (the Fig. 9(b) metric).
+    pub fn spatial_spread_fraction(&self) -> f64 {
+        if self.per_node_power_w <= 0.0 {
+            f64::NAN
+        } else {
+            self.avg_spatial_spread_w / self.per_node_power_w
+        }
+    }
+
+    /// Per-node power as a fraction of the given node TDP.
+    pub fn tdp_fraction(&self, node_tdp_w: f64) -> f64 {
+        self.per_node_power_w / node_tdp_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> JobRecord {
+        JobRecord {
+            id: JobId(1),
+            user: UserId(2),
+            app: AppId(3),
+            submit_min: 100,
+            start_min: 160,
+            end_min: 400,
+            nodes: 4,
+            walltime_req_min: 360,
+        }
+    }
+
+    #[test]
+    fn derived_times() {
+        let r = record();
+        assert_eq!(r.runtime_min(), 240);
+        assert_eq!(r.wait_min(), 60);
+        assert!((r.node_hours() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let mut r = record();
+        r.end_min = r.start_min; // zero-length job
+        assert_eq!(r.runtime_min(), 0);
+        r.start_min = 50; // started "before" submission (clock skew)
+        assert_eq!(r.wait_min(), 0);
+    }
+
+    #[test]
+    fn summary_fractions() {
+        let s = JobPowerSummary {
+            id: JobId(1),
+            per_node_power_w: 150.0,
+            energy_wmin: 150.0 * 240.0 * 4.0,
+            peak_overshoot: 0.1,
+            frac_time_above_10pct: 0.05,
+            temporal_cv: 0.11,
+            avg_spatial_spread_w: 22.5,
+            frac_time_spread_above_avg: 0.3,
+            energy_imbalance: 0.08,
+        };
+        assert!((s.spatial_spread_fraction() - 0.15).abs() < 1e-12);
+        assert!((s.tdp_fraction(210.0) - 150.0 / 210.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_degenerate_power() {
+        let s = JobPowerSummary {
+            id: JobId(1),
+            per_node_power_w: 0.0,
+            energy_wmin: 0.0,
+            peak_overshoot: 0.0,
+            frac_time_above_10pct: 0.0,
+            temporal_cv: 0.0,
+            avg_spatial_spread_w: 0.0,
+            frac_time_spread_above_avg: 0.0,
+            energy_imbalance: 0.0,
+        };
+        assert!(s.spatial_spread_fraction().is_nan());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = record();
+        let s = serde_json::to_string(&r).unwrap();
+        let back: JobRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+    }
+}

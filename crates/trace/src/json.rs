@@ -1,0 +1,111 @@
+//! JSON export/import of whole datasets.
+//!
+//! CSV ([`crate::csv`]) is the interchange format for the flat tables;
+//! JSON carries the full nested dataset (including instrumented series
+//! and the system spec) for archival and for the figure harnesses.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::dataset::TraceDataset;
+use crate::{Result, TraceError};
+
+/// Serializes a dataset to a JSON writer.
+pub fn write_dataset<W: Write>(w: W, dataset: &TraceDataset) -> Result<()> {
+    serde_json::to_writer(w, dataset).map_err(|e| TraceError::Invalid(e.to_string()))
+}
+
+/// Deserializes a dataset from a JSON reader.
+pub fn read_dataset<R: Read>(r: R) -> Result<TraceDataset> {
+    serde_json::from_reader(r).map_err(|e| TraceError::Invalid(e.to_string()))
+}
+
+/// Writes a dataset to a JSON file.
+pub fn save_dataset(path: &Path, dataset: &TraceDataset) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_dataset(BufWriter::new(file), dataset)
+}
+
+/// Reads a dataset from a JSON file.
+pub fn load_dataset(path: &Path) -> Result<TraceDataset> {
+    let file = std::fs::File::open(path)?;
+    read_dataset(BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SystemSample;
+    use crate::ids::{AppId, JobId, UserId};
+    use crate::job::{JobPowerSummary, JobRecord};
+    use crate::series::JobSeries;
+    use crate::system::SystemSpec;
+
+    fn dataset() -> TraceDataset {
+        TraceDataset {
+            system: SystemSpec::emmy().scaled(4),
+            jobs: vec![JobRecord {
+                id: JobId(0),
+                user: UserId(0),
+                app: AppId(0),
+                submit_min: 0,
+                start_min: 1,
+                end_min: 4,
+                nodes: 2,
+                walltime_req_min: 10,
+            }],
+            summaries: vec![JobPowerSummary {
+                id: JobId(0),
+                per_node_power_w: 120.0,
+                energy_wmin: 720.0,
+                peak_overshoot: 0.05,
+                frac_time_above_10pct: 0.0,
+                temporal_cv: 0.03,
+                avg_spatial_spread_w: 5.0,
+                frac_time_spread_above_avg: 0.4,
+                energy_imbalance: 0.02,
+            }],
+            system_series: vec![SystemSample {
+                minute: 0,
+                active_nodes: 2,
+                total_power_w: 240.0,
+            }],
+            instrumented: vec![
+                JobSeries::new(JobId(0), 2, 3, vec![118.0, 120.0, 122.0, 119.0, 121.0, 120.0])
+                    .unwrap(),
+            ],
+            app_names: vec!["Gromacs".into()],
+            user_count: 1,
+        }
+    }
+
+    #[test]
+    fn round_trip_in_memory() {
+        let d = dataset();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &d).unwrap();
+        let back = read_dataset(&buf[..]).unwrap();
+        assert_eq!(back.jobs, d.jobs);
+        assert_eq!(back.summaries, d.summaries);
+        assert_eq!(back.system_series, d.system_series);
+        assert_eq!(back.instrumented, d.instrumented);
+        assert_eq!(back.system, d.system);
+    }
+
+    #[test]
+    fn round_trip_file() {
+        let d = dataset();
+        let dir = std::env::temp_dir().join("hpcpower-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        save_dataset(&path, &d).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back.jobs, d.jobs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_dataset("not json".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! # hpcpower-trace
+//!
+//! Data model and storage layer for HPC power-consumption traces,
+//! mirroring the dataset open-sourced with Patel et al. (2020): batch
+//! scheduler **accounting records** joined with node-level **RAPL power
+//! telemetry** sampled once per minute.
+//!
+//! The crate defines:
+//!
+//! * typed identifiers ([`ids`]) for jobs, users, nodes, and applications;
+//! * the per-system hardware description ([`system::SystemSpec`]) with the
+//!   paper's Table 1 presets for the *Emmy* and *Meggie* clusters;
+//! * the per-job accounting record ([`job::JobRecord`]) and the power
+//!   summary derived from telemetry ([`job::JobPowerSummary`]);
+//! * per-node time series for instrumented jobs ([`series::JobSeries`]);
+//! * the dataset container ([`dataset::TraceDataset`]) with query helpers;
+//! * CSV and JSON import/export ([`csv`], [`json`]) in a Zenodo-like
+//!   layout;
+//! * schema validation ([`validate`]).
+//!
+//! Time is measured in **minutes** since the trace epoch, matching the
+//! paper's one-minute sampling granularity; power is in **watts** and
+//! refers to the RAPL PKG+DRAM domains of a full node.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod csv;
+pub mod dataset;
+pub mod ids;
+pub mod job;
+pub mod json;
+pub mod series;
+pub mod swf;
+pub mod system;
+pub mod validate;
+
+pub use dataset::TraceDataset;
+pub use ids::{AppId, JobId, NodeId, UserId};
+pub use job::{JobPowerSummary, JobRecord};
+pub use series::JobSeries;
+pub use system::SystemSpec;
+
+/// Errors produced by trace I/O and validation.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A record failed to parse: line number and message.
+    Parse {
+        /// 1-based line number within the file.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A dataset invariant was violated.
+    Invalid(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            TraceError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Convenience alias for trace results.
+pub type Result<T> = std::result::Result<T, TraceError>;

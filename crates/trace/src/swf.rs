@@ -1,0 +1,219 @@
+//! Standard Workload Format (SWF) export.
+//!
+//! The paper cites Feitelson's Parallel Workloads Archive [19] as the
+//! community's canonical job-trace repository; SWF is its format. This
+//! module exports a [`TraceDataset`]'s accounting side as an SWF file so
+//! the simulated workloads plug into the large ecosystem of SWF-based
+//! scheduler simulators, with the power data carried in comment headers
+//! and a companion table.
+//!
+//! SWF fields (one job per line, 18 whitespace-separated columns):
+//! ```text
+//! job_id submit wait runtime procs avg_cpu mem procs_req time_req mem_req
+//! status user group app queue partition prev_job think_time
+//! ```
+//! Unknown fields are `-1` per the SWF convention. `procs` counts
+//! *nodes* here (node-exclusive allocation, as on both studied systems);
+//! a header comment records that choice.
+
+use std::io::{BufRead, Write};
+
+use crate::dataset::TraceDataset;
+use crate::{Result, TraceError};
+
+/// Writes the dataset's jobs as SWF.
+pub fn write_swf<W: Write>(w: &mut W, dataset: &TraceDataset) -> Result<()> {
+    let spec = &dataset.system;
+    writeln!(w, "; SWF export of a simulated HPC power trace")?;
+    writeln!(w, "; Computer: {} ({})", spec.name, spec.processor)?;
+    writeln!(w, "; MaxNodes: {}", spec.nodes)?;
+    writeln!(w, "; MaxProcs: {}", spec.nodes)?;
+    writeln!(w, "; Note: allocation is node-exclusive; procs == nodes")?;
+    writeln!(w, "; Note: node TDP {} W; per-job power in jobs.csv", spec.node_tdp_w)?;
+    writeln!(w, "; UnixStartTime: 0")?;
+    writeln!(w, "; TimeZoneString: UTC")?;
+    for job in &dataset.jobs {
+        // SWF times are in seconds.
+        let submit = job.submit_min * 60;
+        let wait = job.wait_min() * 60;
+        let runtime = job.runtime_min() * 60;
+        let time_req = job.walltime_req_min * 60;
+        writeln!(
+            w,
+            "{} {} {} {} {} -1 -1 {} {} -1 1 {} -1 {} -1 -1 -1 -1",
+            job.id.0 + 1, // SWF ids are 1-based
+            submit,
+            wait,
+            runtime,
+            job.nodes,
+            job.nodes,
+            time_req,
+            job.user.0 + 1,
+            job.app.0 + 1,
+        )?;
+    }
+    Ok(())
+}
+
+/// A minimal SWF record as read back by [`read_swf`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwfJob {
+    /// 1-based SWF job id.
+    pub id: u64,
+    /// Submission time in seconds.
+    pub submit_s: u64,
+    /// Wait time in seconds.
+    pub wait_s: u64,
+    /// Runtime in seconds.
+    pub runtime_s: u64,
+    /// Allocated processors (nodes, for our exports).
+    pub procs: u32,
+    /// Requested time in seconds.
+    pub time_req_s: u64,
+    /// 1-based user id.
+    pub user: u32,
+}
+
+/// Parses the subset of SWF this crate writes (and any archive file with
+/// the standard 18 columns). Comment lines (`;`) are skipped.
+pub fn read_swf<R: BufRead>(r: R) -> Result<Vec<SwfJob>> {
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 18 {
+            return Err(TraceError::Parse {
+                line: lineno + 1,
+                message: format!("SWF needs 18 fields, got {}", fields.len()),
+            });
+        }
+        let parse_u64 = |k: usize, what: &str| -> Result<u64> {
+            let v: i64 = fields[k].parse().map_err(|_| TraceError::Parse {
+                line: lineno + 1,
+                message: format!("bad {what}"),
+            })?;
+            Ok(v.max(0) as u64)
+        };
+        out.push(SwfJob {
+            id: parse_u64(0, "job id")?,
+            submit_s: parse_u64(1, "submit")?,
+            wait_s: parse_u64(2, "wait")?,
+            runtime_s: parse_u64(3, "runtime")?,
+            procs: parse_u64(4, "procs")? as u32,
+            time_req_s: parse_u64(8, "time request")?,
+            user: parse_u64(11, "user")? as u32,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AppId, JobId, UserId};
+    use crate::job::{JobPowerSummary, JobRecord};
+    use crate::system::SystemSpec;
+    use std::io::BufReader;
+
+    fn dataset() -> TraceDataset {
+        let jobs = vec![
+            JobRecord {
+                id: JobId(0),
+                user: UserId(3),
+                app: AppId(1),
+                submit_min: 10,
+                start_min: 15,
+                end_min: 75,
+                nodes: 4,
+                walltime_req_min: 120,
+            },
+            JobRecord {
+                id: JobId(1),
+                user: UserId(0),
+                app: AppId(0),
+                submit_min: 20,
+                start_min: 20,
+                end_min: 50,
+                nodes: 1,
+                walltime_req_min: 60,
+            },
+        ];
+        let summaries = jobs
+            .iter()
+            .map(|j| JobPowerSummary {
+                id: j.id,
+                per_node_power_w: 100.0,
+                energy_wmin: 100.0 * j.runtime_min() as f64 * j.nodes as f64,
+                peak_overshoot: 0.1,
+                frac_time_above_10pct: 0.0,
+                temporal_cv: 0.05,
+                avg_spatial_spread_w: 5.0,
+                frac_time_spread_above_avg: 0.3,
+                energy_imbalance: 0.02,
+            })
+            .collect();
+        TraceDataset {
+            system: SystemSpec::emmy().scaled(8),
+            jobs,
+            summaries,
+            system_series: vec![],
+            instrumented: vec![],
+            app_names: vec!["Gromacs".into(), "WRF".into()],
+            user_count: 4,
+        }
+    }
+
+    #[test]
+    fn swf_round_trip() {
+        let d = dataset();
+        let mut buf = Vec::new();
+        write_swf(&mut buf, &d).unwrap();
+        let jobs = read_swf(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, 1);
+        assert_eq!(jobs[0].submit_s, 600);
+        assert_eq!(jobs[0].wait_s, 300);
+        assert_eq!(jobs[0].runtime_s, 3600);
+        assert_eq!(jobs[0].procs, 4);
+        assert_eq!(jobs[0].time_req_s, 7200);
+        assert_eq!(jobs[0].user, 4); // 1-based
+        assert_eq!(jobs[1].procs, 1);
+    }
+
+    #[test]
+    fn header_carries_system_metadata() {
+        let d = dataset();
+        let mut buf = Vec::new();
+        write_swf(&mut buf, &d).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("MaxNodes: 8"));
+        assert!(text.contains("Emmy"));
+        assert!(text.contains("node TDP 210"));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "; comment\n\n; another\n";
+        let jobs = read_swf(BufReader::new(text.as_bytes())).unwrap();
+        assert!(jobs.is_empty());
+    }
+
+    #[test]
+    fn short_lines_rejected() {
+        let text = "1 2 3\n";
+        assert!(read_swf(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn negative_fields_clamped() {
+        // "-1" (unknown) fields must not break parsing.
+        let line = "5 100 -1 200 4 -1 -1 4 300 -1 1 2 -1 1 -1 -1 -1 -1\n";
+        let jobs = read_swf(BufReader::new(line.as_bytes())).unwrap();
+        assert_eq!(jobs[0].wait_s, 0);
+        assert_eq!(jobs[0].id, 5);
+    }
+}

@@ -1,0 +1,157 @@
+//! System hardware descriptions (the paper's Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Batch queuing system flavour. The analyses only need the accounting
+/// fields both produce, but the simulator mimics each scheduler's
+/// behavioural quirks (queue policy naming, default walltime rounding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchSystem {
+    /// Torque 4.x with Maui (Emmy).
+    TorqueMaui,
+    /// Slurm 17.x (Meggie).
+    Slurm,
+}
+
+impl std::fmt::Display for BatchSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchSystem::TorqueMaui => write!(f, "Torque-4.2.10 + maui-3.3.2"),
+            BatchSystem::Slurm => write!(f, "Slurm 17.11"),
+        }
+    }
+}
+
+/// Static description of one HPC system (Table 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// Human-readable system name ("Emmy", "Meggie", ...).
+    pub name: String,
+    /// Number of compute nodes.
+    pub nodes: u32,
+    /// Node thermal design power in watts (CPU PKG + DRAM domains).
+    pub node_tdp_w: f64,
+    /// Idle power floor of a node in watts (RAPL PKG+DRAM at rest).
+    pub node_idle_w: f64,
+    /// Processor description.
+    pub processor: String,
+    /// Process technology in nanometres (affects absolute power levels).
+    pub process_nm: u32,
+    /// Whether turbo mode is enabled.
+    pub turbo: bool,
+    /// Whether simultaneous multithreading is enabled.
+    pub smt: bool,
+    /// Batch queuing system.
+    pub batch: BatchSystem,
+    /// LINPACK performance in TFlop/s (Table 1; context only).
+    pub linpack_tflops: f64,
+    /// Total LINPACK power in kW (Table 1; context only).
+    pub linpack_power_kw: f64,
+}
+
+impl SystemSpec {
+    /// The *Emmy* cluster: 560 dual-socket Ivy Bridge nodes, 210 W node
+    /// TDP, Torque/Maui. (The paper's abstract says 568; Table 1 says
+    /// 560 — we follow Table 1.)
+    pub fn emmy() -> Self {
+        Self {
+            name: "Emmy".to_string(),
+            nodes: 560,
+            node_tdp_w: 210.0,
+            node_idle_w: 35.0,
+            processor: "2x Intel Xeon E5-2660 v2".to_string(),
+            process_nm: 22,
+            turbo: true,
+            smt: true,
+            batch: BatchSystem::TorqueMaui,
+            linpack_tflops: 191.0,
+            linpack_power_kw: 170.0,
+        }
+    }
+
+    /// The *Meggie* cluster: 728 dual-socket Broadwell nodes, 195 W node
+    /// TDP, Slurm.
+    pub fn meggie() -> Self {
+        Self {
+            name: "Meggie".to_string(),
+            nodes: 728,
+            node_tdp_w: 195.0,
+            node_idle_w: 30.0,
+            processor: "2x Intel E5-2630 v4".to_string(),
+            process_nm: 14,
+            turbo: true,
+            smt: false,
+            batch: BatchSystem::Slurm,
+            linpack_tflops: 472.0,
+            linpack_power_kw: 210.0,
+        }
+    }
+
+    /// Maximum possible power draw of the whole system in watts
+    /// (all nodes at TDP) — the denominator of the paper's "power
+    /// utilization" metric (Fig. 2).
+    pub fn max_system_power_w(&self) -> f64 {
+        self.nodes as f64 * self.node_tdp_w
+    }
+
+    /// A scaled copy with `nodes` compute nodes; used for fast tests and
+    /// benches that do not need the full cluster.
+    pub fn scaled(&self, nodes: u32) -> Self {
+        Self {
+            name: format!("{}-x{}", self.name, nodes),
+            nodes,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_presets() {
+        let emmy = SystemSpec::emmy();
+        assert_eq!(emmy.nodes, 560);
+        assert_eq!(emmy.node_tdp_w, 210.0);
+        assert_eq!(emmy.batch, BatchSystem::TorqueMaui);
+        assert_eq!(emmy.process_nm, 22);
+        assert!(emmy.smt);
+
+        let meggie = SystemSpec::meggie();
+        assert_eq!(meggie.nodes, 728);
+        assert_eq!(meggie.node_tdp_w, 195.0);
+        assert_eq!(meggie.batch, BatchSystem::Slurm);
+        assert_eq!(meggie.process_nm, 14);
+        assert!(!meggie.smt);
+    }
+
+    #[test]
+    fn max_system_power() {
+        let emmy = SystemSpec::emmy();
+        assert!((emmy.max_system_power_w() - 560.0 * 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_preserves_power_model_fields() {
+        let small = SystemSpec::emmy().scaled(16);
+        assert_eq!(small.nodes, 16);
+        assert_eq!(small.node_tdp_w, 210.0);
+        assert_eq!(small.node_idle_w, 35.0);
+        assert!(small.name.contains("Emmy"));
+    }
+
+    #[test]
+    fn batch_display() {
+        assert!(BatchSystem::Slurm.to_string().contains("Slurm"));
+        assert!(BatchSystem::TorqueMaui.to_string().contains("Torque"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = SystemSpec::meggie();
+        let s = serde_json::to_string(&spec).unwrap();
+        let back: SystemSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(spec, back);
+    }
+}

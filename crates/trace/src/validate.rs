@@ -1,0 +1,260 @@
+//! Dataset invariant checks.
+//!
+//! Run after import or simulation to guarantee that downstream analyses
+//! operate on well-formed data. The invariants encode both schema rules
+//! (ids dense and aligned) and physical rules (power within
+//! `[0, node TDP]`, times ordered, node counts within the system).
+
+use crate::dataset::TraceDataset;
+use crate::{Result, TraceError};
+
+/// Validates all dataset invariants; returns the first violation found.
+pub fn validate(dataset: &TraceDataset) -> Result<()> {
+    let spec = &dataset.system;
+    if dataset.jobs.len() != dataset.summaries.len() {
+        return Err(TraceError::Invalid(format!(
+            "jobs ({}) and summaries ({}) misaligned",
+            dataset.jobs.len(),
+            dataset.summaries.len()
+        )));
+    }
+    for (i, (job, summary)) in dataset.iter_jobs().enumerate() {
+        let ctx = |msg: String| TraceError::Invalid(format!("job index {i}: {msg}"));
+        if job.id.index() != i {
+            return Err(ctx(format!("id {} not dense", job.id)));
+        }
+        if summary.id != job.id {
+            return Err(ctx(format!("summary id {} mismatched", summary.id)));
+        }
+        if job.submit_min > job.start_min {
+            return Err(ctx("submit after start".into()));
+        }
+        if job.start_min >= job.end_min {
+            return Err(ctx("non-positive runtime".into()));
+        }
+        if job.nodes == 0 || job.nodes > spec.nodes {
+            return Err(ctx(format!(
+                "node count {} outside [1, {}]",
+                job.nodes, spec.nodes
+            )));
+        }
+        if job.walltime_req_min == 0 {
+            return Err(ctx("zero requested walltime".into()));
+        }
+        let p = summary.per_node_power_w;
+        if !p.is_finite() || p < 0.0 || p > spec.node_tdp_w {
+            return Err(ctx(format!(
+                "per-node power {p} outside [0, {}]",
+                spec.node_tdp_w
+            )));
+        }
+        if !summary.energy_wmin.is_finite() || summary.energy_wmin < 0.0 {
+            return Err(ctx("negative or non-finite energy".into()));
+        }
+        for (name, v) in [
+            ("peak_overshoot", summary.peak_overshoot),
+            ("frac_time_above_10pct", summary.frac_time_above_10pct),
+            ("temporal_cv", summary.temporal_cv),
+            ("avg_spatial_spread_w", summary.avg_spatial_spread_w),
+            (
+                "frac_time_spread_above_avg",
+                summary.frac_time_spread_above_avg,
+            ),
+            ("energy_imbalance", summary.energy_imbalance),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ctx(format!("{name} = {v} invalid")));
+            }
+        }
+        for (name, frac) in [
+            ("frac_time_above_10pct", summary.frac_time_above_10pct),
+            (
+                "frac_time_spread_above_avg",
+                summary.frac_time_spread_above_avg,
+            ),
+        ] {
+            if frac > 1.0 {
+                return Err(ctx(format!("{name} = {frac} exceeds 1")));
+            }
+        }
+    }
+    let mut last_minute = None;
+    for (i, s) in dataset.system_series.iter().enumerate() {
+        if let Some(last) = last_minute {
+            if s.minute <= last {
+                return Err(TraceError::Invalid(format!(
+                    "system sample {i}: minute {} not increasing",
+                    s.minute
+                )));
+            }
+        }
+        last_minute = Some(s.minute);
+        if s.active_nodes > spec.nodes {
+            return Err(TraceError::Invalid(format!(
+                "system sample {i}: {} active nodes exceeds system size {}",
+                s.active_nodes, spec.nodes
+            )));
+        }
+        if !s.total_power_w.is_finite()
+            || s.total_power_w < 0.0
+            || s.total_power_w > spec.max_system_power_w() * 1.0001
+        {
+            return Err(TraceError::Invalid(format!(
+                "system sample {i}: power {} outside system envelope",
+                s.total_power_w
+            )));
+        }
+    }
+    for series in &dataset.instrumented {
+        let job = dataset.job(series.id).ok_or_else(|| {
+            TraceError::Invalid(format!("instrumented series for unknown {}", series.id))
+        })?;
+        if series.nodes() != job.nodes {
+            return Err(TraceError::Invalid(format!(
+                "series {}: {} nodes but job has {}",
+                series.id,
+                series.nodes(),
+                job.nodes
+            )));
+        }
+        if series.minutes() as u64 != job.runtime_min() {
+            return Err(TraceError::Invalid(format!(
+                "series {}: {} minutes but job ran {}",
+                series.id,
+                series.minutes(),
+                job.runtime_min()
+            )));
+        }
+    }
+    for job in &dataset.jobs {
+        if job.user.0 >= dataset.user_count {
+            return Err(TraceError::Invalid(format!(
+                "{}: user {} outside user_count {}",
+                job.id, job.user, dataset.user_count
+            )));
+        }
+        if job.app.index() >= dataset.app_names.len() {
+            return Err(TraceError::Invalid(format!(
+                "{}: app {} has no name entry",
+                job.id, job.app
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SystemSample;
+    use crate::ids::{AppId, JobId, UserId};
+    use crate::job::{JobPowerSummary, JobRecord};
+    use crate::system::SystemSpec;
+
+    fn valid_dataset() -> TraceDataset {
+        TraceDataset {
+            system: SystemSpec::emmy().scaled(16),
+            jobs: vec![JobRecord {
+                id: JobId(0),
+                user: UserId(0),
+                app: AppId(0),
+                submit_min: 0,
+                start_min: 5,
+                end_min: 65,
+                nodes: 4,
+                walltime_req_min: 120,
+            }],
+            summaries: vec![JobPowerSummary {
+                id: JobId(0),
+                per_node_power_w: 150.0,
+                energy_wmin: 36000.0,
+                peak_overshoot: 0.1,
+                frac_time_above_10pct: 0.02,
+                temporal_cv: 0.08,
+                avg_spatial_spread_w: 15.0,
+                frac_time_spread_above_avg: 0.3,
+                energy_imbalance: 0.06,
+            }],
+            system_series: vec![SystemSample {
+                minute: 0,
+                active_nodes: 4,
+                total_power_w: 600.0,
+            }],
+            instrumented: vec![],
+            app_names: vec!["Gromacs".into()],
+            user_count: 1,
+        }
+    }
+
+    #[test]
+    fn valid_passes() {
+        assert!(validate(&valid_dataset()).is_ok());
+    }
+
+    #[test]
+    fn rejects_power_above_tdp() {
+        let mut d = valid_dataset();
+        d.summaries[0].per_node_power_w = 250.0;
+        assert!(validate(&d).is_err());
+    }
+
+    #[test]
+    fn rejects_time_disorder() {
+        let mut d = valid_dataset();
+        d.jobs[0].start_min = d.jobs[0].end_min;
+        assert!(validate(&d).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_job() {
+        let mut d = valid_dataset();
+        d.jobs[0].nodes = 999;
+        assert!(validate(&d).is_err());
+    }
+
+    #[test]
+    fn rejects_fraction_above_one() {
+        let mut d = valid_dataset();
+        d.summaries[0].frac_time_above_10pct = 1.5;
+        assert!(validate(&d).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_user_or_app() {
+        let mut d = valid_dataset();
+        d.jobs[0].user = UserId(5);
+        assert!(validate(&d).is_err());
+        let mut d = valid_dataset();
+        d.jobs[0].app = AppId(5);
+        assert!(validate(&d).is_err());
+    }
+
+    #[test]
+    fn rejects_nondense_ids() {
+        let mut d = valid_dataset();
+        d.jobs[0].id = JobId(7);
+        d.summaries[0].id = JobId(7);
+        assert!(validate(&d).is_err());
+    }
+
+    #[test]
+    fn rejects_unordered_system_series() {
+        let mut d = valid_dataset();
+        d.system_series.push(SystemSample {
+            minute: 0,
+            active_nodes: 1,
+            total_power_w: 100.0,
+        });
+        assert!(validate(&d).is_err());
+    }
+
+    #[test]
+    fn rejects_series_shape_mismatch() {
+        let mut d = valid_dataset();
+        d.instrumented.push(
+            crate::series::JobSeries::new(JobId(0), 4, 10, vec![100.0; 40]).unwrap(),
+        );
+        // Job ran 60 minutes but series has 10.
+        assert!(validate(&d).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Full characterization of one simulated system — every table and
+//! figure of the paper rendered as text, for either cluster.
+//!
+//! ```text
+//! cargo run --release --example characterize_cluster -- emmy
+//! cargo run --release --example characterize_cluster -- meggie --seed 7
+//! ```
+
+use hpcpower::prediction::PredictionConfig;
+use hpcpower::report;
+use hpcpower_sim::{simulate, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    let which = args.get(1).map(String::as_str).unwrap_or("emmy");
+
+    let cfg = match which {
+        "meggie" => SimConfig::meggie(seed).scaled_down(96, 21 * 1440, 48),
+        "emmy" => SimConfig::emmy(seed).scaled_down(96, 21 * 1440, 60),
+        other => {
+            eprintln!("unknown system {other:?}; use 'emmy' or 'meggie'");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "simulating {} ({} nodes, {} days, seed {seed})...",
+        cfg.system.name,
+        cfg.system.nodes,
+        cfg.horizon_min / 1440
+    );
+    let dataset = simulate(cfg);
+    let pred_cfg = PredictionConfig {
+        n_splits: 5,
+        ..Default::default()
+    };
+    print!("{}", report::render_full(&dataset, &pred_cfg));
+}

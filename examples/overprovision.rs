@@ -1,0 +1,38 @@
+//! End-to-end over-provisioning experiment: cap the facility's power at
+//! 80% of the TDP envelope (below the observed Fig. 2 ceiling) and spend
+//! the recovered budget on extra nodes, scheduled by the power-aware
+//! EASY scheduler with BDT power reservations.
+//!
+//! ```text
+//! cargo run --release --example overprovision
+//! ```
+
+use hpcpower::overprovision::{self, OverprovisionConfig};
+use hpcpower::prediction::PredictionConfig;
+use hpcpower_sim::SimConfig;
+
+fn main() {
+    let base = SimConfig::emmy(42).scaled_down(64, 10 * 1440, 40);
+    let cfg = OverprovisionConfig::default();
+    println!(
+        "baseline: {} nodes, budget = {:.0}% of the TDP envelope, reservations at +{:.0}%\n",
+        base.system.nodes,
+        cfg.budget_fraction * 100.0,
+        cfg.margin * 100.0
+    );
+    let analysis =
+        overprovision::analyze(&base, &cfg, &PredictionConfig::default()).expect("experiment runs");
+    println!("power budget: {:.1} kW", analysis.budget_w / 1000.0);
+    println!("nodes | node-hours delivered | completed jobs | mean wait | p95 wait");
+    for p in &analysis.points {
+        println!(
+            "{:>5} | {:>19.0}h | {:>14} | {:>7.0}min | {:>6.0}min",
+            p.nodes, p.node_hours, p.completed_jobs, p.mean_wait_min, p.p95_wait_min
+        );
+    }
+    println!(
+        "\nbest throughput gain over the baseline machine: +{:.1}% node-hours\n\
+         — the paper's 'more nodes for the same electricity bill' argument, quantified.",
+        analysis.best_gain * 100.0
+    );
+}

@@ -1,0 +1,76 @@
+//! Quickstart: simulate a small Emmy-like cluster and print the headline
+//! statistics of the paper's analyses.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hpcpower::prelude::*;
+use hpcpower_sim::{simulate, SimConfig};
+
+fn main() {
+    // A scaled-down, fully calibrated Emmy: 48 nodes, two weeks.
+    // Deterministic for a given seed.
+    let dataset = simulate(SimConfig::emmy_small(42));
+    println!(
+        "simulated {} jobs on {} ({} nodes, {} days)\n",
+        dataset.len(),
+        dataset.system.name,
+        dataset.system.nodes,
+        dataset.duration_min() / 1440
+    );
+
+    // RQ1/RQ2 — utilization vs power utilization (Figs. 1-2).
+    let sys = system_level::analyze(&dataset);
+    println!(
+        "system utilization {:.0}%  |  power utilization {:.0}%  |  stranded power {:.0}%",
+        sys.utilization.mean * 100.0,
+        sys.power.mean * 100.0,
+        sys.stranded_fraction * 100.0
+    );
+
+    // RQ3 — per-node power distribution (Fig. 3).
+    let pdf = job_level::power_pdf(&dataset, 40).expect("jobs present");
+    println!(
+        "per-node power: {:.0} W +/- {:.0} W  ({:.0}% of the {} W node TDP)",
+        pdf.mean_w,
+        pdf.std_w,
+        pdf.mean_tdp_fraction * 100.0,
+        dataset.system.node_tdp_w
+    );
+
+    // Table 2 — what correlates with power?
+    let corr = job_level::correlation_table(&dataset).expect("enough jobs");
+    println!(
+        "Spearman rho: runtime vs power {:.2}, size vs power {:.2}",
+        corr.length_power.r, corr.size_power.r
+    );
+
+    // RQ5 — temporal flatness vs spatial spread (Figs. 7 and 9).
+    let temporal = temporal::analyze(&dataset).expect("long jobs present");
+    let spatial = spatial::analyze(&dataset).expect("multi-node jobs present");
+    println!(
+        "temporal: peak only {:.0}% above mean on average; {:.0}% of jobs never exceed +10%",
+        temporal.overshoot.stats.mean * 100.0,
+        temporal.frac_jobs_never_above * 100.0
+    );
+    println!(
+        "spatial: nodes of the same job differ by {:.1} W on average ({:.0}% of job power)",
+        spatial.spread_w.stats.mean,
+        spatial.spread_fraction.stats.mean * 100.0
+    );
+
+    // RQ9 — apriori power prediction (Fig. 14).
+    let cfg = hpcpower::prediction::PredictionConfig {
+        n_splits: 3,
+        ..Default::default()
+    };
+    let pred = prediction::analyze(&dataset, &cfg).expect("enough jobs");
+    for m in &pred.models {
+        println!(
+            "{:<4}: {:.0}% of predictions within 10% of the actual per-node power",
+            m.model,
+            m.frac_below_10pct * 100.0
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the HPC power suite; see README.
+pub use hpcpower as analysis;
+pub use hpcpower_ml as ml;
+pub use hpcpower_sim as sim;
+pub use hpcpower_stats as stats;
+pub use hpcpower_trace as trace;
