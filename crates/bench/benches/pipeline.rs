@@ -1,0 +1,55 @@
+//! End-to-end pipeline benchmarks: trace materialization and report
+//! generation at 1 thread vs all cores.
+//!
+//! The parallel pipeline is bit-deterministic (see DESIGN.md,
+//! "Parallelism & determinism"), so these benches measure pure speedup:
+//! same output bytes, different wall time. `cargo run -p hpcpower-bench
+//! --bin pipeline` writes the headline numbers to `BENCH_pipeline.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hpcpower::prediction::PredictionConfig;
+use hpcpower::{json_report, report};
+use hpcpower_sim::{simulate, with_threads, SimConfig};
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for threads in [1usize, 0] {
+        let label = if threads == 1 { "1t" } else { "all" };
+        group.bench_function(&format!("simulate_small_emmy_{label}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut cfg = SimConfig::emmy_small(seed);
+                cfg.threads = threads;
+                black_box(simulate(cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_report(c: &mut Criterion) {
+    let dataset = simulate(SimConfig::emmy_small(13));
+    let cfg = PredictionConfig {
+        n_splits: 2,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for threads in [1usize, 0] {
+        let label = if threads == 1 { "1t" } else { "all" };
+        group.bench_function(&format!("render_full_{label}"), |b| {
+            b.iter(|| with_threads(threads, || black_box(report::render_full(&dataset, &cfg))))
+        });
+        group.bench_function(&format!("json_report_{label}"), |b| {
+            b.iter(|| with_threads(threads, || black_box(json_report::build(&dataset, &cfg))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(pipeline, bench_simulate, bench_report);
+criterion_main!(pipeline);

@@ -1,0 +1,121 @@
+//! Pipeline speedup harness: times trace materialization plus full
+//! report generation at 1 thread and at all cores, and writes the
+//! result to `BENCH_pipeline.json`.
+//!
+//! ```text
+//! cargo run --release -p hpcpower-bench --bin pipeline             # Emmy scale
+//! cargo run --release -p hpcpower-bench --bin pipeline -- --small  # smoke run
+//! cargo run --release -p hpcpower-bench --bin pipeline -- --out path.json
+//! ```
+//!
+//! The parallel path is bit-deterministic (DESIGN.md, "Parallelism &
+//! determinism"), so the serial and parallel runs produce the same
+//! bytes; only the wall time differs. Available cores are recorded so
+//! single-core results are not mistaken for a parallelism failure.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hpcpower::prediction::PredictionConfig;
+use hpcpower::report;
+use hpcpower_sim::{simulate, with_threads, SimConfig};
+
+struct Run {
+    threads_requested: usize,
+    threads_used: usize,
+    simulate_s: f64,
+    report_s: f64,
+    jobs: usize,
+}
+
+impl Run {
+    fn total_s(&self) -> f64 {
+        self.simulate_s + self.report_s
+    }
+
+    fn jobs_per_s(&self) -> f64 {
+        self.jobs as f64 / self.total_s()
+    }
+}
+
+fn run_once(cfg: &SimConfig, pcfg: &PredictionConfig, threads: usize) -> Run {
+    let mut cfg = cfg.clone();
+    cfg.threads = threads;
+    let threads_used = with_threads(threads, rayon::current_num_threads);
+    let t0 = Instant::now();
+    let dataset = simulate(cfg);
+    let simulate_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let text = with_threads(threads, || report::render_full(&dataset, pcfg));
+    let report_s = t1.elapsed().as_secs_f64();
+    eprintln!(
+        "  threads={threads} ({threads_used} workers): simulate {simulate_s:.2}s, \
+         report {report_s:.2}s ({} jobs, {} report bytes)",
+        dataset.len(),
+        text.len()
+    );
+    Run {
+        threads_requested: threads,
+        threads_used,
+        simulate_s,
+        report_s,
+        jobs: dataset.len(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cfg = if small {
+        SimConfig::emmy_small(20200518)
+    } else {
+        // Emmy preset scaled to a tractable single-run size; the full
+        // 560-node, 5-month preset is the `report` bin's job.
+        SimConfig::emmy(20200518).scaled_down(160, 45 * 1440, 120)
+    };
+    let pcfg = PredictionConfig {
+        n_splits: if small { 2 } else { 3 },
+        ..Default::default()
+    };
+
+    eprintln!(
+        "pipeline bench: {} ({} nodes, {} days), {cores} cores available",
+        cfg.system.name,
+        cfg.system.nodes,
+        cfg.horizon_min / 1440
+    );
+    let serial = run_once(&cfg, &pcfg, 1);
+    let parallel = run_once(&cfg, &pcfg, 0);
+    let speedup = serial.total_s() / parallel.total_s();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"system\": \"{}\",", cfg.system.name);
+    let _ = writeln!(json, "  \"nodes\": {},", cfg.system.nodes);
+    let _ = writeln!(json, "  \"days\": {},", cfg.horizon_min / 1440);
+    let _ = writeln!(json, "  \"cores_available\": {cores},");
+    for (key, run) in [("serial", &serial), ("parallel", &parallel)] {
+        let _ = writeln!(json, "  \"{key}\": {{");
+        let _ = writeln!(json, "    \"threads_requested\": {},", run.threads_requested);
+        let _ = writeln!(json, "    \"threads_used\": {},", run.threads_used);
+        let _ = writeln!(json, "    \"jobs\": {},", run.jobs);
+        let _ = writeln!(json, "    \"simulate_s\": {:.3},", run.simulate_s);
+        let _ = writeln!(json, "    \"report_s\": {:.3},", run.report_s);
+        let _ = writeln!(json, "    \"wall_s\": {:.3},", run.total_s());
+        let _ = writeln!(json, "    \"jobs_per_s\": {:.1}", run.jobs_per_s());
+        let _ = writeln!(json, "  }},");
+    }
+    let _ = writeln!(json, "  \"speedup\": {speedup:.2}");
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).expect("write bench output");
+    eprintln!("speedup {speedup:.2}x on {cores} cores -> {out}");
+    print!("{json}");
+}

@@ -20,13 +20,18 @@ use args::Args;
 use hpcpower::prediction::{self, PredictionConfig};
 use hpcpower::report;
 use hpcpower_ml::{DecisionTree, Regressor, TreeConfig};
-use hpcpower_sim::{simulate, SimConfig};
+use hpcpower_sim::{simulate, with_threads, SimConfig};
 use hpcpower_trace::{csv, json, swf, validate, TraceDataset};
 
 const HELP: &str = "\
 hpcpower — HPC job power characterization & prediction
 
 USAGE: hpcpower <command> [flags]
+
+GLOBAL FLAGS:
+  --threads N  Worker threads for simulation and report generation
+               (default 0 = all cores). Output is bit-identical for
+               any value.
 
 COMMANDS:
   simulate   Generate a calibrated cluster trace and write it to disk
@@ -77,6 +82,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         let users: usize = args.get_or("users", cfg.population.n_users)?;
         cfg = cfg.scaled_down(nodes, days * 1440, users);
     }
+    cfg.threads = args.get_or("threads", 0)?;
     let out: PathBuf = args
         .get("out")
         .map(PathBuf::from)
@@ -126,12 +132,16 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         n_splits: splits,
         ..Default::default()
     };
+    let threads: usize = args.get_or("threads", 0)?;
     if args.has("json") {
-        let full = hpcpower::json_report::build(&dataset, &cfg);
+        let full = with_threads(threads, || hpcpower::json_report::build(&dataset, &cfg));
         let text = serde_json::to_string_pretty(&full).map_err(|e| e.to_string())?;
         println!("{text}");
     } else {
-        print!("{}", report::render_full(&dataset, &cfg));
+        print!(
+            "{}",
+            with_threads(threads, || report::render_full(&dataset, &cfg))
+        );
     }
     Ok(())
 }
@@ -143,7 +153,11 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         n_splits: args.get_or("splits", 3)?,
         ..Default::default()
     };
-    print!("{}", report::render_pair(&a, &b, &cfg));
+    let threads: usize = args.get_or("threads", 0)?;
+    print!(
+        "{}",
+        with_threads(threads, || report::render_pair(&a, &b, &cfg))
+    );
     Ok(())
 }
 
@@ -174,7 +188,11 @@ fn cmd_powercap(args: &Args) -> Result<(), String> {
         n_splits: 3,
         ..Default::default()
     };
-    print!("{}", report::render_powercap(&dataset, &cfg));
+    let threads: usize = args.get_or("threads", 0)?;
+    print!(
+        "{}",
+        with_threads(threads, || report::render_powercap(&dataset, &cfg))
+    );
     Ok(())
 }
 

@@ -36,9 +36,9 @@ pub fn power_pdf(dataset: &TraceDataset, bins: usize) -> Result<PowerPdf> {
     if powers.is_empty() {
         return Err(AnalysisError::InsufficientData("no jobs".into()));
     }
-    let summary = Summary::from_slice(&powers);
+    let summary = Summary::from_slice(powers);
     let mut hist = Histogram::new(0.0, dataset.system.node_tdp_w * 1.0001, bins)?;
-    for p in &powers {
+    for p in powers {
         hist.push(*p);
     }
     Ok(PowerPdf {
@@ -65,19 +65,20 @@ pub struct AppPowerRow {
 /// restricts (and orders) the output to those names, skipping absent
 /// ones.
 pub fn app_power_table(dataset: &TraceDataset, apps: Option<&[&str]>) -> Vec<AppPowerRow> {
-    let by_app = dataset.jobs_by_app();
+    let rollups = dataset.app_rollups();
     let mut rows: Vec<AppPowerRow> = Vec::new();
     let mut emit = |app_id: hpcpower_trace::AppId| {
-        if let Some(jobs) = by_app.get(&app_id) {
-            let powers: Vec<f64> = jobs
-                .iter()
-                .filter_map(|&j| dataset.summary(j))
-                .map(|s| s.per_node_power_w)
-                .collect();
-            if !powers.is_empty() {
+        let found = rollups.binary_search_by_key(&app_id, |r| r.app);
+        if let Ok(i) = found {
+            let r = &rollups[i];
+            if r.jobs > 0 {
                 rows.push(AppPowerRow {
                     app: dataset.app_name(app_id).to_string(),
-                    power_w: MeanStd::from_values(&powers),
+                    power_w: MeanStd {
+                        mean: r.power.mean(),
+                        std_dev: if r.power.count() > 1 { r.power.std_dev() } else { 0.0 },
+                        n: r.power.count() as usize,
+                    },
                 });
             }
         }
@@ -153,8 +154,12 @@ pub fn split_analysis(dataset: &TraceDataset) -> Result<SplitAnalysis> {
     let runtimes: Vec<f64> = dataset.jobs.iter().map(|j| j.runtime_min() as f64).collect();
     let sizes: Vec<f64> = dataset.jobs.iter().map(|j| j.nodes as f64).collect();
     let powers = dataset.per_node_powers();
-    let median_runtime = hpcpower_stats::quantile::median(&runtimes)?;
-    let median_nodes = hpcpower_stats::quantile::median(&sizes)?;
+    let median_runtime = dataset
+        .median_runtime_min()
+        .ok_or_else(|| AnalysisError::InsufficientData("no runtimes".into()))?;
+    let median_nodes = dataset
+        .median_nodes()
+        .ok_or_else(|| AnalysisError::InsufficientData("no sizes".into()))?;
 
     let pick = |pred: &dyn Fn(usize) -> bool| -> Vec<f64> {
         powers
@@ -218,6 +223,7 @@ mod tests {
             instrumented: vec![],
             app_names: vec!["AppA".into(), "AppB".into()],
             user_count: 5,
+            index: Default::default(),
         }
     }
 

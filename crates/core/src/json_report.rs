@@ -4,6 +4,7 @@
 //! the same analyses as structured JSON so external plotting tools can
 //! regenerate the paper's figures graphically.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use hpcpower_trace::TraceDataset;
@@ -52,31 +53,116 @@ pub struct FullReport {
     pub pricing: Option<pricing::PricingAnalysis>,
 }
 
+/// One analysis result, tagged so the parallel fan-out below can hand
+/// each back to its [`FullReport`] field.
+enum Part {
+    SystemLevel(system_level::SystemAnalysis),
+    PowerPdf(Option<job_level::PowerPdf>),
+    AppPower(Vec<job_level::AppPowerRow>),
+    Correlations(Option<job_level::CorrelationTable>),
+    Splits(Option<job_level::SplitAnalysis>),
+    Temporal(Option<temporal::TemporalAnalysis>),
+    TemporalByApp(Vec<temporal::AppTemporalRow>),
+    Spatial(Option<spatial::SpatialAnalysis>),
+    SpatialByApp(Vec<spatial::AppSpatialRow>),
+    Concentration(Option<user_level::UserConcentration>),
+    UserVariability(Option<user_level::UserVariability>),
+    ClusterTightness(Vec<user_level::ClusterTightness>),
+    Prediction(Option<prediction::PredictionAnalysis>),
+    Powercap(Option<powercap::PowerCapAnalysis>),
+    Pricing(Option<pricing::PricingAnalysis>),
+}
+
 /// Runs every analysis and collects the results. Analyses that cannot
 /// run on the dataset (too few jobs, no multi-node jobs, ...) are `None`
 /// rather than errors, so a partial dataset still yields a report.
+///
+/// The analyses are independent and run in parallel on the ambient
+/// rayon pool; each writes a fixed field of the report, so the result
+/// is identical to the serial version.
 pub fn build(dataset: &TraceDataset, cfg: &PredictionConfig) -> FullReport {
+    let d = dataset;
+    type Task<'a> = Box<dyn FnOnce() -> Part + Send + 'a>;
+    let tasks: Vec<Task<'_>> = vec![
+        Box::new(|| Part::SystemLevel(system_level::analyze(d))),
+        Box::new(|| Part::PowerPdf(job_level::power_pdf(d, 40).ok())),
+        Box::new(|| Part::AppPower(job_level::app_power_table(d, None))),
+        Box::new(|| Part::Correlations(job_level::correlation_table(d).ok())),
+        Box::new(|| Part::Splits(job_level::split_analysis(d).ok())),
+        Box::new(|| Part::Temporal(temporal::analyze(d).ok())),
+        Box::new(|| Part::TemporalByApp(temporal::by_app(d, 20))),
+        Box::new(|| Part::Spatial(spatial::analyze(d).ok())),
+        Box::new(|| Part::SpatialByApp(spatial::by_app(d, 20))),
+        Box::new(|| Part::Concentration(user_level::concentration(d).ok())),
+        Box::new(|| Part::UserVariability(user_level::user_variability(d, 3).ok())),
+        Box::new(|| {
+            Part::ClusterTightness(
+                [user_level::ClusterBy::Nodes, user_level::ClusterBy::Walltime]
+                    .into_iter()
+                    .filter_map(|by| user_level::cluster_tightness(d, by, 2).ok())
+                    .collect(),
+            )
+        }),
+        Box::new(|| Part::Prediction(prediction::analyze(d, cfg).ok())),
+        Box::new(|| {
+            Part::Powercap(powercap::analyze(d, &powercap::default_margins(), cfg).ok())
+        }),
+        Box::new(|| Part::Pricing(pricing::analyze(d).ok())),
+    ];
+    let parts: Vec<Part> = tasks.into_par_iter().map(|f| f()).collect();
+
+    let mut system_level = None;
+    let mut power_pdf = None;
+    let mut app_power = Vec::new();
+    let mut correlations = None;
+    let mut splits = None;
+    let mut temporal = None;
+    let mut temporal_by_app = Vec::new();
+    let mut spatial = None;
+    let mut spatial_by_app = Vec::new();
+    let mut concentration = None;
+    let mut user_variability = None;
+    let mut cluster_tightness = Vec::new();
+    let mut prediction = None;
+    let mut powercap = None;
+    let mut pricing = None;
+    for part in parts {
+        match part {
+            Part::SystemLevel(v) => system_level = Some(v),
+            Part::PowerPdf(v) => power_pdf = v,
+            Part::AppPower(v) => app_power = v,
+            Part::Correlations(v) => correlations = v,
+            Part::Splits(v) => splits = v,
+            Part::Temporal(v) => temporal = v,
+            Part::TemporalByApp(v) => temporal_by_app = v,
+            Part::Spatial(v) => spatial = v,
+            Part::SpatialByApp(v) => spatial_by_app = v,
+            Part::Concentration(v) => concentration = v,
+            Part::UserVariability(v) => user_variability = v,
+            Part::ClusterTightness(v) => cluster_tightness = v,
+            Part::Prediction(v) => prediction = v,
+            Part::Powercap(v) => powercap = v,
+            Part::Pricing(v) => pricing = v,
+        }
+    }
     FullReport {
         system: dataset.system.name.clone(),
         jobs: dataset.len(),
-        system_level: system_level::analyze(dataset),
-        power_pdf: job_level::power_pdf(dataset, 40).ok(),
-        app_power: job_level::app_power_table(dataset, None),
-        correlations: job_level::correlation_table(dataset).ok(),
-        splits: job_level::split_analysis(dataset).ok(),
-        temporal: temporal::analyze(dataset).ok(),
-        temporal_by_app: temporal::by_app(dataset, 20),
-        spatial: spatial::analyze(dataset).ok(),
-        spatial_by_app: spatial::by_app(dataset, 20),
-        concentration: user_level::concentration(dataset).ok(),
-        user_variability: user_level::user_variability(dataset, 3).ok(),
-        cluster_tightness: [user_level::ClusterBy::Nodes, user_level::ClusterBy::Walltime]
-            .into_iter()
-            .filter_map(|by| user_level::cluster_tightness(dataset, by, 2).ok())
-            .collect(),
-        prediction: prediction::analyze(dataset, cfg).ok(),
-        powercap: powercap::analyze(dataset, &powercap::default_margins(), cfg).ok(),
-        pricing: pricing::analyze(dataset).ok(),
+        system_level: system_level.expect("system-level task always runs"),
+        power_pdf,
+        app_power,
+        correlations,
+        splits,
+        temporal,
+        temporal_by_app,
+        spatial,
+        spatial_by_app,
+        concentration,
+        user_variability,
+        cluster_tightness,
+        prediction,
+        powercap,
+        pricing,
     }
 }
 

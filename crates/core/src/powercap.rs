@@ -70,13 +70,19 @@ pub fn analyze(
     let model = DecisionTree::fit(&train, cfg.tree).map_err(AnalysisError::Ml)?;
 
     let tdp = dataset.system.node_tdp_w;
+    // Predictions are margin-independent: compute them once instead of
+    // re-walking the tree for every margin in the sweep.
+    let predictions: Vec<f64> = dataset
+        .jobs
+        .iter()
+        .map(|job| model.predict(job.user.0, job.nodes as f64, job.walltime_req_min as f64))
+        .collect();
     let mut outcomes = Vec::with_capacity(margins.len());
     for &margin in margins {
         let mut violations = 0usize;
         let mut overshoot_sum = 0.0;
         let mut cap_sum = 0.0;
-        for (job, s) in dataset.iter_jobs() {
-            let predicted = model.predict(job.user.0, job.nodes as f64, job.walltime_req_min as f64);
+        for ((_, s), &predicted) in dataset.iter_jobs().zip(&predictions) {
             let cap = (predicted * (1.0 + margin)).min(tdp);
             let peak = s.per_node_power_w * (1.0 + s.peak_overshoot);
             if peak > cap {
@@ -166,6 +172,7 @@ mod tests {
             instrumented: vec![],
             app_names: vec!["A".into()],
             user_count: 10,
+            index: Default::default(),
         }
     }
 

@@ -289,6 +289,7 @@ mod tests {
             instrumented: vec![],
             app_names: vec!["A".into()],
             user_count: 15,
+            index: Default::default(),
         }
     }
 

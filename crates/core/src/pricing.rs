@@ -12,7 +12,6 @@
 //! >1 = under-charged by node-hour pricing; <1 = over-charged), broken
 //! > down by the paper's short/long and small/large median splits.
 
-use hpcpower_stats::quantile;
 use hpcpower_trace::TraceDataset;
 use serde::{Deserialize, Serialize};
 
@@ -96,8 +95,12 @@ pub fn analyze(dataset: &TraceDataset) -> Result<PricingAnalysis> {
         .zip(&node_hours)
         .map(|(&e, &nh)| (e / e_total) / (nh / nh_total))
         .collect();
-    let median_runtime = quantile::median(&runtimes)?;
-    let median_nodes = quantile::median(&sizes)?;
+    let median_runtime = dataset
+        .median_runtime_min()
+        .ok_or_else(|| AnalysisError::InsufficientData("no runtimes".into()))?;
+    let median_nodes = dataset
+        .median_nodes()
+        .ok_or_else(|| AnalysisError::InsufficientData("no sizes".into()))?;
     let short_pick: Vec<bool> = runtimes.iter().map(|&r| r <= median_runtime).collect();
     let long_pick: Vec<bool> = short_pick.iter().map(|&b| !b).collect();
     let small_pick: Vec<bool> = sizes.iter().map(|&s| s <= median_nodes).collect();
@@ -158,6 +161,7 @@ mod tests {
             instrumented: vec![],
             app_names: vec!["A".into()],
             user_count: 1,
+            index: Default::default(),
         }
     }
 

@@ -6,6 +6,7 @@
 use std::fmt::Write as _;
 
 use hpcpower_trace::TraceDataset;
+use rayon::prelude::*;
 
 use crate::prediction::PredictionConfig;
 use crate::{
@@ -388,6 +389,13 @@ pub fn render_pricing(d: &TraceDataset) -> String {
 }
 
 /// Full single-system report, every section in paper order.
+///
+/// The sections are independent analyses, so they render in parallel on
+/// the ambient rayon pool; the join below is in fixed paper order, so
+/// the output bytes are identical to a serial render. Shared derived
+/// views (power vectors, groupings, medians) come from the dataset's
+/// memoized [`hpcpower_trace::DatasetIndex`], whose `OnceLock` caches
+/// are computed exactly once no matter which section asks first.
 pub fn render_full(d: &TraceDataset, cfg: &PredictionConfig) -> String {
     let mut out = String::new();
     writeln!(
@@ -399,23 +407,38 @@ pub fn render_full(d: &TraceDataset, cfg: &PredictionConfig) -> String {
         d.system.nodes
     )
     .unwrap();
-    out.push_str(&render_system_level(d));
-    out.push_str(&render_job_level(d));
-    out.push_str(&render_temporal(d));
-    out.push_str(&render_spatial(d));
-    out.push_str(&render_user_level(d));
-    out.push_str(&render_prediction(d, cfg));
-    out.push_str(&render_powercap(d, cfg));
-    out.push_str(&render_pricing(d));
+    type Section<'a> = Box<dyn FnOnce() -> String + Send + 'a>;
+    let sections: Vec<Section<'_>> = vec![
+        Box::new(|| render_system_level(d)),
+        Box::new(|| render_job_level(d)),
+        Box::new(|| render_temporal(d)),
+        Box::new(|| render_spatial(d)),
+        Box::new(|| render_user_level(d)),
+        Box::new(|| render_prediction(d, cfg)),
+        Box::new(|| render_powercap(d, cfg)),
+        Box::new(|| render_pricing(d)),
+    ];
+    for section in sections.into_par_iter().map(|f| f()).collect::<Vec<String>>() {
+        out.push_str(&section);
+    }
     out
 }
 
 /// Full two-system report including the cross-system Fig. 4 comparison.
+///
+/// The two per-system reports are independent and render in parallel;
+/// concatenation order is fixed, so the output is byte-identical to the
+/// serial version.
 pub fn render_pair(emmy: &TraceDataset, meggie: &TraceDataset, cfg: &PredictionConfig) -> String {
-    let mut out = String::new();
-    out.push_str(&render_full(emmy, cfg));
+    type Job<'a> = Box<dyn FnOnce() -> String + Send + 'a>;
+    let jobs: Vec<Job<'_>> = vec![
+        Box::new(|| render_full(emmy, cfg)),
+        Box::new(|| render_full(meggie, cfg)),
+    ];
+    let mut rendered = jobs.into_par_iter().map(|f| f()).collect::<Vec<String>>();
+    let mut out = rendered.remove(0);
     out.push('\n');
-    out.push_str(&render_full(meggie, cfg));
+    out.push_str(&rendered.remove(0));
     out.push('\n');
     out.push_str(&render_app_comparison(emmy, meggie));
     out

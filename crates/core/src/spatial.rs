@@ -102,27 +102,30 @@ pub struct AppSpatialRow {
 /// Breaks the Fig. 9/10 metrics down per application (multi-node jobs,
 /// apps with at least `min_jobs` of them).
 pub fn by_app(dataset: &TraceDataset, min_jobs: usize) -> Vec<AppSpatialRow> {
-    let mut acc: std::collections::HashMap<u32, (f64, f64, f64, usize)> =
-        std::collections::HashMap::new();
-    for (job, s) in dataset.iter_jobs() {
-        if job.nodes < 2 || job.runtime_min() < crate::temporal::MIN_RUNTIME_MIN {
-            continue;
-        }
-        let e = acc.entry(job.app.0).or_default();
-        e.0 += s.avg_spatial_spread_w;
-        e.1 += s.spatial_spread_fraction();
-        e.2 += s.energy_imbalance;
-        e.3 += 1;
-    }
-    let mut rows: Vec<AppSpatialRow> = acc
-        .into_iter()
-        .filter(|(_, (_, _, _, n))| *n >= min_jobs.max(1))
-        .map(|(app, (w, f, i, n))| AppSpatialRow {
-            app: dataset.app_name(hpcpower_trace::AppId(app)).to_string(),
-            mean_spread_w: w / n as f64,
-            mean_spread_fraction: f / n as f64,
-            mean_energy_imbalance: i / n as f64,
-            jobs: n,
+    // The memoized groups keep job order within each app, so the float
+    // sums below match a serial pass over `iter_jobs`.
+    let mut rows: Vec<AppSpatialRow> = dataset
+        .apps_with_jobs()
+        .iter()
+        .filter_map(|(app, ids)| {
+            let (mut w, mut f, mut imb, mut n) = (0.0, 0.0, 0.0, 0usize);
+            for &id in ids {
+                let (job, s) = (&dataset.jobs[id.index()], &dataset.summaries[id.index()]);
+                if job.nodes < 2 || job.runtime_min() < crate::temporal::MIN_RUNTIME_MIN {
+                    continue;
+                }
+                w += s.avg_spatial_spread_w;
+                f += s.spatial_spread_fraction();
+                imb += s.energy_imbalance;
+                n += 1;
+            }
+            (n >= min_jobs.max(1)).then(|| AppSpatialRow {
+                app: dataset.app_name(*app).to_string(),
+                mean_spread_w: w / n as f64,
+                mean_spread_fraction: f / n as f64,
+                mean_energy_imbalance: imb / n as f64,
+                jobs: n,
+            })
         })
         .collect();
     rows.sort_by(|a, b| a.app.cmp(&b.app));
@@ -197,6 +200,7 @@ mod tests {
             instrumented: vec![],
             app_names: vec!["A".into()],
             user_count: 1,
+            index: Default::default(),
         }
     }
 

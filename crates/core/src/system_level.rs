@@ -144,6 +144,7 @@ mod tests {
             instrumented: vec![],
             app_names: vec![],
             user_count: 0,
+            index: Default::default(),
         }
     }
 

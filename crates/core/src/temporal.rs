@@ -92,27 +92,30 @@ pub struct AppTemporalRow {
 /// Breaks the Fig. 7 metrics down per application (apps with at least
 /// `min_jobs` qualifying jobs).
 pub fn by_app(dataset: &TraceDataset, min_jobs: usize) -> Vec<AppTemporalRow> {
-    let mut acc: std::collections::HashMap<u32, (f64, f64, f64, usize)> =
-        std::collections::HashMap::new();
-    for (job, s) in dataset.iter_jobs() {
-        if job.runtime_min() < MIN_RUNTIME_MIN {
-            continue;
-        }
-        let e = acc.entry(job.app.0).or_default();
-        e.0 += s.peak_overshoot;
-        e.1 += s.frac_time_above_10pct;
-        e.2 += s.temporal_cv;
-        e.3 += 1;
-    }
-    let mut rows: Vec<AppTemporalRow> = acc
-        .into_iter()
-        .filter(|(_, (_, _, _, n))| *n >= min_jobs.max(1))
-        .map(|(app, (o, a, c, n))| AppTemporalRow {
-            app: dataset.app_name(hpcpower_trace::AppId(app)).to_string(),
-            mean_overshoot: o / n as f64,
-            mean_time_above: a / n as f64,
-            mean_cv: c / n as f64,
-            jobs: n,
+    // The memoized groups keep job order within each app, so the float
+    // sums below match a serial pass over `iter_jobs`.
+    let mut rows: Vec<AppTemporalRow> = dataset
+        .apps_with_jobs()
+        .iter()
+        .filter_map(|(app, ids)| {
+            let (mut o, mut a, mut c, mut n) = (0.0, 0.0, 0.0, 0usize);
+            for &id in ids {
+                let (job, s) = (&dataset.jobs[id.index()], &dataset.summaries[id.index()]);
+                if job.runtime_min() < MIN_RUNTIME_MIN {
+                    continue;
+                }
+                o += s.peak_overshoot;
+                a += s.frac_time_above_10pct;
+                c += s.temporal_cv;
+                n += 1;
+            }
+            (n >= min_jobs.max(1)).then(|| AppTemporalRow {
+                app: dataset.app_name(*app).to_string(),
+                mean_overshoot: o / n as f64,
+                mean_time_above: a / n as f64,
+                mean_cv: c / n as f64,
+                jobs: n,
+            })
         })
         .collect();
     rows.sort_by(|a, b| a.app.cmp(&b.app));
@@ -248,6 +251,7 @@ mod tests {
             instrumented: vec![],
             app_names: vec!["A".into()],
             user_count: 1,
+            index: Default::default(),
         };
         let a = analyze(&d).unwrap();
         assert_eq!(a.jobs, 30);
@@ -293,6 +297,7 @@ mod tests {
             instrumented: vec![],
             app_names: vec!["Quiet".into(), "Spiky".into()],
             user_count: 1,
+            index: Default::default(),
         };
         let rows = by_app(&d, 3);
         assert_eq!(rows.len(), 2);
@@ -335,6 +340,7 @@ mod tests {
             instrumented: vec![],
             app_names: vec!["A".into()],
             user_count: 1,
+            index: Default::default(),
         };
         assert!(analyze(&d).is_err());
     }

@@ -36,28 +36,25 @@ pub struct UserConcentration {
     pub active_users: usize,
 }
 
-/// Per-user aggregate consumption.
+/// Per-user aggregate consumption `(node-hours, energy W·min)`.
 pub fn user_totals(dataset: &TraceDataset) -> HashMap<UserId, (f64, f64)> {
-    let mut totals: HashMap<UserId, (f64, f64)> = HashMap::new();
-    for (job, s) in dataset.iter_jobs() {
-        let e = totals.entry(job.user).or_insert((0.0, 0.0));
-        e.0 += job.node_hours();
-        e.1 += s.energy_wmin;
-    }
-    totals
+    dataset
+        .user_rollups()
+        .iter()
+        .map(|r| (r.user, (r.node_hours, r.energy_wmin)))
+        .collect()
 }
 
 /// Computes the Fig. 11 concentration analysis.
 pub fn concentration(dataset: &TraceDataset) -> Result<UserConcentration> {
-    let totals = user_totals(dataset);
-    if totals.is_empty() {
+    // Rollups are sorted by user id: both vectors share one ordering,
+    // which the top-set overlap requires.
+    let rollups = dataset.user_rollups();
+    if rollups.is_empty() {
         return Err(AnalysisError::InsufficientData("no jobs".into()));
     }
-    // Align the two vectors on the same user ordering for the overlap.
-    let mut users: Vec<UserId> = totals.keys().copied().collect();
-    users.sort_unstable();
-    let node_hours: Vec<f64> = users.iter().map(|u| totals[u].0).collect();
-    let energy: Vec<f64> = users.iter().map(|u| totals[u].1).collect();
+    let node_hours: Vec<f64> = rollups.iter().map(|r| r.node_hours).collect();
+    let energy: Vec<f64> = rollups.iter().map(|r| r.energy_wmin).collect();
 
     let lorenz_nh = Lorenz::new(&node_hours)?;
     let lorenz_e = Lorenz::new(&energy)?;
@@ -68,7 +65,7 @@ pub fn concentration(dataset: &TraceDataset) -> Result<UserConcentration> {
         energy_gini: lorenz_e.gini(),
         node_hours_curve: lorenz_nh.curve(),
         energy_curve: lorenz_e.curve(),
-        active_users: users.len(),
+        active_users: rollups.len(),
     })
 }
 
@@ -90,25 +87,20 @@ pub struct UserVariability {
 /// (a CV over one job is undefined).
 pub fn user_variability(dataset: &TraceDataset, min_jobs: usize) -> Result<UserVariability> {
     let min_jobs = min_jobs.max(2);
-    let mut per_user: HashMap<UserId, (Summary, Summary, Summary)> = HashMap::new();
-    for (job, s) in dataset.iter_jobs() {
-        let e = per_user
-            .entry(job.user)
-            .or_insert_with(|| (Summary::new(), Summary::new(), Summary::new()));
-        e.0.push(s.per_node_power_w);
-        e.1.push(job.nodes as f64);
-        e.2.push(job.runtime_min() as f64);
-    }
+    // The memoized rollups are sorted by user id, which also makes the
+    // mean-CV float summations below deterministic (the old HashMap
+    // iteration summed in arbitrary order, so results could differ
+    // between runs at the last ulp).
     let mut power_cv = Vec::new();
     let mut nodes_cv = Vec::new();
     let mut runtime_cv = Vec::new();
-    for (_, (p, n, r)) in per_user {
-        if (p.count() as usize) < min_jobs {
+    for r in dataset.user_rollups() {
+        if r.jobs < min_jobs {
             continue;
         }
-        power_cv.push(p.cv());
-        nodes_cv.push(n.cv());
-        runtime_cv.push(r.cv());
+        power_cv.push(r.power.cv());
+        nodes_cv.push(r.nodes.cv());
+        runtime_cv.push(r.runtime.cv());
     }
     if power_cv.is_empty() {
         return Err(AnalysisError::InsufficientData(
@@ -249,6 +241,7 @@ mod tests {
             instrumented: vec![],
             app_names: vec!["A".into()],
             user_count: 10,
+            index: Default::default(),
         }
     }
 

@@ -1,0 +1,56 @@
+//! The parallel report path must be byte-identical to the serial one.
+//!
+//! Sections are rendered concurrently but joined in the fixed paper
+//! order, and every memoized dataset index is a pure, order-preserving
+//! function of the dataset — so the rendered text (and the JSON report)
+//! cannot depend on the worker count.
+
+use hpcpower::prediction::PredictionConfig;
+use hpcpower::{json_report, report};
+use hpcpower_sim::{simulate, with_threads, SimConfig};
+
+fn small_cfg() -> PredictionConfig {
+    PredictionConfig {
+        n_splits: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn text_report_identical_across_thread_counts() {
+    let dataset = simulate(SimConfig::emmy_small(7));
+    let cfg = small_cfg();
+    let serial = with_threads(1, || report::render_full(&dataset, &cfg));
+    for threads in [2, 4] {
+        let parallel = with_threads(threads, || report::render_full(&dataset, &cfg));
+        assert_eq!(serial, parallel, "report text changed with {threads} threads");
+    }
+}
+
+#[test]
+fn pair_report_identical_across_thread_counts() {
+    let a = simulate(SimConfig::emmy_small(7));
+    let b = simulate(SimConfig::meggie_small(8));
+    let cfg = small_cfg();
+    let serial = with_threads(1, || report::render_pair(&a, &b, &cfg));
+    let parallel = with_threads(4, || report::render_pair(&a, &b, &cfg));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn json_report_identical_across_thread_counts() {
+    let dataset = simulate(SimConfig::emmy_small(7));
+    let cfg = small_cfg();
+    let to_json = |threads: usize| {
+        let full = with_threads(threads, || json_report::build(&dataset, &cfg));
+        serde_json::to_string(&full).expect("serializes")
+    };
+    let serial = to_json(1);
+    for threads in [2, 4] {
+        assert_eq!(
+            serial,
+            to_json(threads),
+            "JSON report changed with {threads} threads"
+        );
+    }
+}

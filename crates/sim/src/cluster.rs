@@ -4,10 +4,12 @@
 use hpcpower_stats::rng::{mix_words, SplitMix64};
 use hpcpower_trace::dataset::TraceDataset;
 use hpcpower_trace::{AppId, JobId, JobRecord, UserId};
+use rayon::prelude::*;
 
 use crate::apps::{standard_catalog, AppClass};
 use crate::config::SimConfig;
 use crate::monitor::{monitor, select_instrumented};
+use crate::pool::with_threads;
 use crate::power::{resolve_job_params, JobPowerParams, PowerModel};
 use crate::scheduler::{schedule, ScheduledJob};
 use crate::users::{generate_population, UserModel};
@@ -60,7 +62,15 @@ impl ClusterSim {
     }
 
     /// Runs the full pipeline and returns the dataset plus ground truth.
+    ///
+    /// Trace materialization (per-job power parameters and the monitor)
+    /// fans out over a rayon pool sized by `cfg.threads` (0 = all
+    /// cores); the dataset is bit-identical for any thread count.
     pub fn run(&self) -> SimOutput {
+        with_threads(self.cfg.threads, || self.run_inner())
+    }
+
+    fn run_inner(&self) -> SimOutput {
         let cfg = &self.cfg;
         let mut rng = SplitMix64::new(cfg.seed);
         let mut pop_rng = rng.fork(1);
@@ -86,10 +96,12 @@ impl ClusterSim {
             .collect();
         placed.sort_by_key(|j| (j.start_min, j.request_idx));
 
-        // Resolve per-job power parameters (keyed by the *request* index
-        // so they do not depend on scheduling order).
+        // Resolve per-job power parameters in parallel: each job's key
+        // mixes only the run seed and its *request* index, so the result
+        // depends neither on scheduling order nor on which worker
+        // resolves it.
         let job_params: Vec<JobPowerParams> = placed
-            .iter()
+            .par_iter()
             .map(|j| {
                 let user = &users[j.request.user as usize];
                 let template = &user.templates[j.request.template as usize];
@@ -127,6 +139,7 @@ impl ClusterSim {
             instrumented: out.instrumented,
             app_names: self.catalog.iter().map(|a| a.name.clone()).collect(),
             user_count: cfg.population.n_users as u32,
+            index: Default::default(),
         };
         SimOutput {
             dataset,

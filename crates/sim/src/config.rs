@@ -37,6 +37,10 @@ pub struct SimConfig {
     pub power: PowerModelConfig,
     /// Instrumented-subset selection.
     pub instrument: InstrumentConfig,
+    /// Worker threads for trace materialization (0 = all cores).
+    /// Output is bit-identical regardless of this value.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 /// Job-count application weights on Emmy (aligned with
@@ -96,6 +100,7 @@ impl SimConfig {
                 min_nodes: 2,
                 sample_budget: 6_000_000,
             },
+            threads: 0,
             system,
         }
     }
@@ -143,6 +148,7 @@ impl SimConfig {
                 min_nodes: 2,
                 sample_budget: 6_000_000,
             },
+            threads: 0,
             system,
         }
     }

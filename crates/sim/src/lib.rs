@@ -33,6 +33,7 @@ pub mod apps;
 pub mod cluster;
 pub mod config;
 pub mod monitor;
+pub mod pool;
 pub mod power;
 pub mod power_aware;
 pub mod replay;
@@ -44,6 +45,7 @@ pub use apps::{standard_catalog, AppClass, Arch};
 pub use cluster::{simulate, ClusterSim, SimOutput};
 pub use config::SimConfig;
 pub use monitor::MonitorOutput;
+pub use pool::with_threads;
 pub use power::{JobPowerParams, PowerModel};
 pub use power_aware::{schedule_power_aware, PowerBudget};
 pub use replay::{replay_swf, ReplayConfig};

@@ -9,8 +9,10 @@
 //! The pipeline never materializes the full telemetry: each job's samples
 //! are generated on the fly from the stateless [`PowerModel`] and folded
 //! into one-pass accumulators ([`hpcpower_stats::online`]). Jobs are
-//! processed in parallel with rayon; the per-minute system series is
-//! accumulated into thread-local buffers and reduced.
+//! processed in parallel with rayon in fixed-size batches; each batch's
+//! per-minute contributions are folded into the system accumulator
+//! serially in job order, so the system series is bit-identical for any
+//! thread count (see DESIGN.md, "Parallelism & determinism").
 
 use hpcpower_stats::online::{LaneTotals, SpatialSpreadTracker, TimeAboveMeanTracker};
 use hpcpower_trace::dataset::SystemSample;
@@ -97,16 +99,6 @@ impl SystemAcc {
             active: vec![0; horizon],
         }
     }
-
-    fn merge(mut self, other: SystemAcc) -> Self {
-        for (a, b) in self.power.iter_mut().zip(&other.power) {
-            *a += *b;
-        }
-        for (a, b) in self.active.iter_mut().zip(&other.active) {
-            *a += *b;
-        }
-        self
-    }
 }
 
 /// Summarizes one job by streaming over its samples. Also returns the
@@ -176,11 +168,24 @@ fn summarize_job(
     (summary, series)
 }
 
+/// Jobs materialized per parallel batch. The batch size is a constant —
+/// never a function of the thread count — so the serial in-order fold of
+/// each batch's minute contributions performs the exact same float
+/// additions in the exact same order regardless of parallelism. Peak
+/// extra memory is one `(minute, power, nodes)` triple per job-minute of
+/// the in-flight batch.
+const BATCH_JOBS: usize = 256;
+
 /// Runs the monitoring pipeline over all scheduled jobs.
 ///
 /// `params[i]` must describe `jobs[i]`. Summaries come back in input
 /// order with `id = input index`; callers re-key the ids when building a
 /// dataset. The system series covers `[0, horizon_min)`.
+///
+/// Output is bit-identical for every thread count: jobs are sampled in
+/// parallel (each job's power stream is keyed purely by its params, so
+/// per-job work is order-independent), while the shared system series is
+/// reduced serially in job order over fixed-size batches.
 pub fn monitor(
     model: &PowerModel,
     jobs: &[ScheduledJob],
@@ -192,49 +197,51 @@ pub fn monitor(
     assert_eq!(jobs.len(), instrumented_flags.len());
     let horizon = horizon_min as usize;
 
-    let (acc, mut per_job): (SystemAcc, Vec<(usize, JobPowerSummary, Option<JobSeries>)>) = jobs
-        .par_iter()
-        .enumerate()
-        .fold(
-            || (SystemAcc::new(horizon), Vec::new()),
-            |(mut acc, mut out), (i, job)| {
-                let (summary, series) = summarize_job(
-                    model,
-                    job,
-                    &params[i],
-                    instrumented_flags[i],
-                    |minute, power, nodes| {
-                        if (minute as usize) < horizon {
-                            acc.power[minute as usize] += power;
-                            acc.active[minute as usize] += nodes as u64;
-                        }
-                    },
-                );
-                let mut summary = summary;
-                summary.id = JobId::from_index(i);
-                let series = series.map(|mut s| {
-                    s.id = JobId::from_index(i);
-                    s
-                });
-                out.push((i, summary, series));
-                (acc, out)
-            },
-        )
-        .reduce(
-            || (SystemAcc::new(horizon), Vec::new()),
-            |(acc_a, mut out_a), (acc_b, mut out_b)| {
-                out_a.append(&mut out_b);
-                (acc_a.merge(acc_b), out_a)
-            },
-        );
+    // One materialized job: its summary, optional instrumented series,
+    // and the (minute, power, nodes) stream to fold into the system acc.
+    type JobBatchItem = (JobPowerSummary, Option<JobSeries>, Vec<(u64, f64, u32)>);
 
-    per_job.sort_by_key(|(i, _, _)| *i);
+    let mut acc = SystemAcc::new(horizon);
     let mut summaries = Vec::with_capacity(jobs.len());
     let mut instrumented = Vec::new();
-    for (_, summary, series) in per_job {
-        summaries.push(summary);
-        if let Some(s) = series {
-            instrumented.push(s);
+
+    for batch_start in (0..jobs.len()).step_by(BATCH_JOBS) {
+        let batch_end = (batch_start + BATCH_JOBS).min(jobs.len());
+        // Parallel, order-preserving materialization of the batch.
+        let batch: Vec<JobBatchItem> =
+            (batch_start..batch_end)
+                .into_par_iter()
+                .map(|i| {
+                    let job = &jobs[i];
+                    let mut minutes =
+                        Vec::with_capacity((job.end_min - job.start_min) as usize);
+                    let (mut summary, series) = summarize_job(
+                        model,
+                        job,
+                        &params[i],
+                        instrumented_flags[i],
+                        |minute, power, nodes| minutes.push((minute, power, nodes)),
+                    );
+                    summary.id = JobId::from_index(i);
+                    let series = series.map(|mut s| {
+                        s.id = JobId::from_index(i);
+                        s
+                    });
+                    (summary, series, minutes)
+                })
+                .collect();
+        // Serial fold in job order: the only stage where jobs interact.
+        for (summary, series, minutes) in batch {
+            summaries.push(summary);
+            if let Some(s) = series {
+                instrumented.push(s);
+            }
+            for (minute, power, nodes) in minutes {
+                if (minute as usize) < horizon {
+                    acc.power[minute as usize] += power;
+                    acc.active[minute as usize] += nodes as u64;
+                }
+            }
         }
     }
 

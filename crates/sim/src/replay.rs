@@ -18,9 +18,11 @@ use hpcpower_stats::rng::{mix_words, CounterRng};
 use hpcpower_trace::dataset::TraceDataset;
 use hpcpower_trace::swf::SwfJob;
 use hpcpower_trace::{AppId, JobId, JobRecord, SystemSpec, UserId};
+use rayon::prelude::*;
 
 use crate::apps::{standard_catalog, AppClass, Arch};
 use crate::monitor::{monitor, select_instrumented, InstrumentConfig};
+use crate::pool::with_threads;
 use crate::power::{resolve_job_params, JobPowerParams, PowerModel, PowerModelConfig};
 use crate::scheduler::{schedule, ScheduledJob};
 use crate::users::JobTemplate;
@@ -39,6 +41,9 @@ pub struct ReplayConfig {
     pub seed: u64,
     /// Instrumented-subset selection.
     pub instrument: InstrumentConfig,
+    /// Worker threads for trace materialization (0 = all cores).
+    /// Output is bit-identical regardless of this value.
+    pub threads: usize,
 }
 
 impl ReplayConfig {
@@ -55,6 +60,7 @@ impl ReplayConfig {
             arch: Arch::IvyBridge,
             seed,
             instrument: InstrumentConfig::default(),
+            threads: 0,
         }
     }
 }
@@ -117,7 +123,15 @@ fn assign_app(catalog: &[AppClass], req: &JobRequest, seed: u64) -> usize {
 /// Replays SWF jobs: schedule on the target system, overlay power, and
 /// return a full [`TraceDataset`]. Oversized jobs are rejected by the
 /// scheduler as on a real machine.
+///
+/// Power materialization fans out over a rayon pool sized by
+/// `cfg.threads` (0 = all cores); output is bit-identical for any
+/// thread count.
 pub fn replay_swf(jobs: &[SwfJob], cfg: &ReplayConfig) -> TraceDataset {
+    with_threads(cfg.threads, || replay_swf_inner(jobs, cfg))
+}
+
+fn replay_swf_inner(jobs: &[SwfJob], cfg: &ReplayConfig) -> TraceDataset {
     let catalog = standard_catalog();
     let (mut requests, user_count) = requests_from_swf(jobs);
     for req in &mut requests {
@@ -128,8 +142,10 @@ pub fn replay_swf(jobs: &[SwfJob], cfg: &ReplayConfig) -> TraceDataset {
     let mut placed: Vec<ScheduledJob> = outcome.jobs;
     placed.sort_by_key(|j| (j.start_min, j.request_idx));
 
+    // Parallel: each job's params are keyed by (seed, user, request
+    // index) only, so resolution order is irrelevant.
     let params: Vec<JobPowerParams> = placed
-        .iter()
+        .par_iter()
         .map(|j| {
             let profile = catalog[j.request.app as usize].profile(cfg.arch);
             // A synthetic per-(user, size-class) template supplies the
@@ -177,6 +193,7 @@ pub fn replay_swf(jobs: &[SwfJob], cfg: &ReplayConfig) -> TraceDataset {
         instrumented: out.instrumented,
         app_names: catalog.iter().map(|a| a.name.clone()).collect(),
         user_count,
+        index: Default::default(),
     }
 }
 

@@ -1,0 +1,57 @@
+//! Thread-count determinism: the simulator must produce byte-identical
+//! datasets no matter how many workers materialize the traces.
+//!
+//! The guarantees under test (see DESIGN.md, "Parallelism & determinism"):
+//! per-job power parameters are a pure function of (seed, user, request
+//! index), the monitor folds fixed-size batches in job order, and the
+//! parallel map preserves input order.
+
+use hpcpower_sim::{replay_swf, simulate, ReplayConfig, SimConfig};
+use hpcpower_trace::swf::SwfJob;
+
+fn dataset_json(threads: usize) -> String {
+    let mut cfg = SimConfig::emmy_small(11);
+    cfg.threads = threads;
+    let dataset = simulate(cfg);
+    serde_json::to_string(&dataset).expect("serializes")
+}
+
+#[test]
+fn simulate_is_byte_identical_across_thread_counts() {
+    let serial = dataset_json(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            serial,
+            dataset_json(threads),
+            "simulate() output changed with {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn replay_is_byte_identical_across_thread_counts() {
+    let jobs: Vec<SwfJob> = (0..120u64)
+        .map(|i| SwfJob {
+            id: i + 1,
+            submit_s: i * 240,
+            wait_s: 0,
+            runtime_s: 1800 + (i % 5) * 600,
+            procs: 1 + (i % 7) as u32,
+            time_req_s: 7200,
+            user: 100 + (i % 9) as u32,
+        })
+        .collect();
+    let replay_json = |threads: usize| {
+        let mut cfg = ReplayConfig::emmy_like(3);
+        cfg.threads = threads;
+        serde_json::to_string(&replay_swf(&jobs, &cfg)).expect("serializes")
+    };
+    let serial = replay_json(1);
+    for threads in [2, 4] {
+        assert_eq!(
+            serial,
+            replay_json(threads),
+            "replay_swf() output changed with {threads} threads"
+        );
+    }
+}

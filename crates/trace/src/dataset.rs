@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{AppId, JobId, UserId};
+use crate::index::{AppRollup, DatasetIndex, UserRollup};
 use crate::job::{JobPowerSummary, JobRecord};
 use crate::series::JobSeries;
 use crate::system::SystemSpec;
@@ -42,6 +43,12 @@ pub struct TraceDataset {
     pub app_names: Vec<String>,
     /// Number of distinct users.
     pub user_count: u32,
+    /// Lazily-built derived views (see [`DatasetIndex`]). Never
+    /// serialized; empty after deserialization and `clone()`. If you
+    /// mutate `jobs`/`summaries`/`system_series` after an analysis has
+    /// run, call [`TraceDataset::reset_index`].
+    #[serde(skip)]
+    pub index: DatasetIndex,
 }
 
 impl TraceDataset {
@@ -86,27 +93,89 @@ impl TraceDataset {
             .map(AppId::from_index)
     }
 
-    /// Per-node power values of all jobs, in job order. The Fig. 3 input.
-    pub fn per_node_powers(&self) -> Vec<f64> {
-        self.summaries.iter().map(|s| s.per_node_power_w).collect()
+    /// Per-node power values of all jobs, in job order. The Fig. 3
+    /// input. Built once and memoized (see [`DatasetIndex`]).
+    pub fn per_node_powers(&self) -> &[f64] {
+        self.index.per_node_powers(self)
     }
 
-    /// Groups job ids by user.
+    /// Per-node powers sorted ascending with NaNs removed — the input
+    /// every power quantile shares. Built once and memoized.
+    pub fn sorted_per_node_powers(&self) -> &[f64] {
+        self.index.sorted_powers(self)
+    }
+
+    /// Job ids grouped by user, sorted by user id; each group keeps job
+    /// order. Built once and memoized.
+    pub fn users_with_jobs(&self) -> &[(UserId, Vec<JobId>)] {
+        self.index.by_user(self)
+    }
+
+    /// Job ids grouped by application, sorted by app id; each group
+    /// keeps job order. Built once and memoized.
+    pub fn apps_with_jobs(&self) -> &[(AppId, Vec<JobId>)] {
+        self.index.by_app(self)
+    }
+
+    /// Job ids of one user (empty slice if the user has no jobs).
+    pub fn jobs_of_user(&self, user: UserId) -> &[JobId] {
+        let groups = self.users_with_jobs();
+        groups
+            .binary_search_by_key(&user, |(u, _)| *u)
+            .map(|i| groups[i].1.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Job ids of one application (empty slice if it has no jobs).
+    pub fn jobs_of_app(&self, app: AppId) -> &[JobId] {
+        let groups = self.apps_with_jobs();
+        groups
+            .binary_search_by_key(&app, |(a, _)| *a)
+            .map(|i| groups[i].1.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Per-user consumption/variability rollups, sorted by user id.
+    /// Built once and memoized.
+    pub fn user_rollups(&self) -> &[UserRollup] {
+        self.index.user_rollups(self)
+    }
+
+    /// Per-application power rollups, sorted by app id. Built once and
+    /// memoized.
+    pub fn app_rollups(&self) -> &[AppRollup] {
+        self.index.app_rollups(self)
+    }
+
+    /// Median job runtime in minutes (`None` for an empty dataset).
+    /// Built once and memoized.
+    pub fn median_runtime_min(&self) -> Option<f64> {
+        self.index.median_runtime(self)
+    }
+
+    /// Median job node count (`None` for an empty dataset). Built once
+    /// and memoized.
+    pub fn median_nodes(&self) -> Option<f64> {
+        self.index.median_nodes(self)
+    }
+
+    /// Drops all memoized derived views. Call after mutating `jobs`,
+    /// `summaries`, or `system_series` on a dataset that has already
+    /// been analyzed.
+    pub fn reset_index(&mut self) {
+        self.index = DatasetIndex::default();
+    }
+
+    /// Groups job ids by user (fresh map; prefer the memoized
+    /// [`Self::users_with_jobs`] in analysis code).
     pub fn jobs_by_user(&self) -> HashMap<UserId, Vec<JobId>> {
-        let mut map: HashMap<UserId, Vec<JobId>> = HashMap::new();
-        for j in &self.jobs {
-            map.entry(j.user).or_default().push(j.id);
-        }
-        map
+        self.users_with_jobs().iter().cloned().collect()
     }
 
-    /// Groups job ids by application.
+    /// Groups job ids by application (fresh map; prefer the memoized
+    /// [`Self::apps_with_jobs`] in analysis code).
     pub fn jobs_by_app(&self) -> HashMap<AppId, Vec<JobId>> {
-        let mut map: HashMap<AppId, Vec<JobId>> = HashMap::new();
-        for j in &self.jobs {
-            map.entry(j.app).or_default().push(j.id);
-        }
-        map
+        self.apps_with_jobs().iter().cloned().collect()
     }
 
     /// Jobs filtered by a predicate over `(record, summary)`.
@@ -124,12 +193,9 @@ impl TraceDataset {
 
     /// Trace length in minutes (1 + the last minute observed in the
     /// system series, or the last job end when no series is present).
+    /// Built once and memoized.
     pub fn duration_min(&self) -> u64 {
-        self.system_series
-            .last()
-            .map(|s| s.minute + 1)
-            .or_else(|| self.jobs.iter().map(|j| j.end_min).max())
-            .unwrap_or(0)
+        self.index.duration_min(self)
     }
 }
 
@@ -205,6 +271,7 @@ mod tests {
             instrumented: vec![],
             app_names: vec!["Gromacs".into(), "WRF".into()],
             user_count: 2,
+            index: Default::default(),
         }
     }
 
@@ -250,6 +317,15 @@ mod tests {
     fn duration_falls_back_to_job_ends() {
         let mut d = tiny_dataset();
         d.system_series.clear();
+        assert_eq!(d.duration_min(), 180);
+    }
+
+    #[test]
+    fn reset_index_after_mutation() {
+        let mut d = tiny_dataset();
+        assert_eq!(d.duration_min(), 2);
+        d.system_series.clear();
+        d.reset_index();
         assert_eq!(d.duration_min(), 180);
     }
 }

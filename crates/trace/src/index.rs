@@ -1,0 +1,332 @@
+//! Lazily-built, memoized derived views over a [`TraceDataset`].
+//!
+//! The report pipeline asks the same questions of a dataset over and
+//! over: the per-node-power vector (Figs. 3 and 5), job groupings by
+//! user and application (Figs. 4 and 11-13), per-group rollups, and the
+//! median runtime/size split points (Figs. 5 and the pricing analysis).
+//! Recomputing each one per analysis is O(jobs) allocations and sorts
+//! multiplied by the number of report sections.
+//!
+//! [`DatasetIndex`] memoizes these derived views behind [`OnceLock`]s:
+//! each is built exactly once, on first use, and shared by every
+//! subsequent analysis — including analyses running concurrently on
+//! other threads, since `OnceLock` synchronizes initialization.
+//!
+//! # Invalidation contract
+//!
+//! `TraceDataset` exposes its fields publicly, so the index cannot
+//! observe mutation. The contract is: **mutate first, analyze after**.
+//! A dataset freshly produced by the simulator, a loader, or `clone()`
+//! has an empty index; if you mutate `jobs`/`summaries` after an
+//! analysis has already populated the index, call
+//! [`TraceDataset::reset_index`] to drop the stale caches.
+//!
+//! Every cache is a pure, order-preserving function of the dataset
+//! (groups keep job order; rollups accumulate in job order), so moving
+//! an analysis onto the index never changes its output — see DESIGN.md,
+//! "Parallelism & determinism".
+
+use std::sync::OnceLock;
+
+use hpcpower_stats::{quantile, Summary};
+
+use crate::dataset::TraceDataset;
+use crate::ids::{AppId, JobId, UserId};
+
+/// Aggregate consumption and variability of one user's jobs.
+///
+/// All accumulations run in job order, so the floating-point results are
+/// identical to a serial pass over `dataset.iter_jobs()`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserRollup {
+    /// The user.
+    pub user: UserId,
+    /// Per-node power over the user's jobs.
+    pub power: Summary,
+    /// Node counts over the user's jobs.
+    pub nodes: Summary,
+    /// Runtimes (minutes) over the user's jobs.
+    pub runtime: Summary,
+    /// Total node-hours consumed.
+    pub node_hours: f64,
+    /// Total energy consumed in watt-minutes.
+    pub energy_wmin: f64,
+    /// Number of jobs.
+    pub jobs: usize,
+}
+
+/// Per-node power statistics of one application's jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppRollup {
+    /// The application.
+    pub app: AppId,
+    /// Per-node power over the app's jobs (accumulated in job order).
+    pub power: Summary,
+    /// Number of jobs.
+    pub jobs: usize,
+}
+
+/// Lazily-built derived indices over a [`TraceDataset`].
+///
+/// Attached to every dataset as `dataset.index`; use the accessors on
+/// [`TraceDataset`] rather than this type directly. Cloning a dataset
+/// yields a fresh, empty index (caches are cheap to rebuild and must
+/// not survive mutation of the clone).
+#[derive(Debug, Default)]
+pub struct DatasetIndex {
+    per_node_powers: OnceLock<Vec<f64>>,
+    sorted_powers: OnceLock<Vec<f64>>,
+    by_user: OnceLock<Vec<(UserId, Vec<JobId>)>>,
+    by_app: OnceLock<Vec<(AppId, Vec<JobId>)>>,
+    user_rollups: OnceLock<Vec<UserRollup>>,
+    app_rollups: OnceLock<Vec<AppRollup>>,
+    median_runtime: OnceLock<Option<f64>>,
+    median_nodes: OnceLock<Option<f64>>,
+    duration_min: OnceLock<u64>,
+}
+
+impl Clone for DatasetIndex {
+    /// Clones to an **empty** index: the caches belong to the dataset
+    /// state they were computed from, and a clone is the natural point
+    /// to start mutating.
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl DatasetIndex {
+    pub(crate) fn per_node_powers<'a>(&'a self, d: &TraceDataset) -> &'a [f64] {
+        self.per_node_powers
+            .get_or_init(|| d.summaries.iter().map(|s| s.per_node_power_w).collect())
+    }
+
+    pub(crate) fn sorted_powers<'a>(&'a self, d: &TraceDataset) -> &'a [f64] {
+        self.sorted_powers
+            .get_or_init(|| quantile::sorted_clean(self.per_node_powers(d)))
+    }
+
+    pub(crate) fn by_user<'a>(&'a self, d: &TraceDataset) -> &'a [(UserId, Vec<JobId>)] {
+        self.by_user.get_or_init(|| {
+            let mut map: std::collections::HashMap<UserId, Vec<JobId>> =
+                std::collections::HashMap::new();
+            for j in &d.jobs {
+                map.entry(j.user).or_default().push(j.id);
+            }
+            let mut groups: Vec<(UserId, Vec<JobId>)> = map.into_iter().collect();
+            groups.sort_unstable_by_key(|(u, _)| *u);
+            groups
+        })
+    }
+
+    pub(crate) fn by_app<'a>(&'a self, d: &TraceDataset) -> &'a [(AppId, Vec<JobId>)] {
+        self.by_app.get_or_init(|| {
+            let mut map: std::collections::HashMap<AppId, Vec<JobId>> =
+                std::collections::HashMap::new();
+            for j in &d.jobs {
+                map.entry(j.app).or_default().push(j.id);
+            }
+            let mut groups: Vec<(AppId, Vec<JobId>)> = map.into_iter().collect();
+            groups.sort_unstable_by_key(|(a, _)| *a);
+            groups
+        })
+    }
+
+    pub(crate) fn user_rollups<'a>(&'a self, d: &TraceDataset) -> &'a [UserRollup] {
+        self.user_rollups.get_or_init(|| {
+            self.by_user(d)
+                .iter()
+                .map(|(user, ids)| {
+                    let mut power = Summary::new();
+                    let mut nodes = Summary::new();
+                    let mut runtime = Summary::new();
+                    let mut node_hours = 0.0;
+                    let mut energy_wmin = 0.0;
+                    for &id in ids {
+                        let (job, s) = (&d.jobs[id.index()], &d.summaries[id.index()]);
+                        power.push(s.per_node_power_w);
+                        nodes.push(job.nodes as f64);
+                        runtime.push(job.runtime_min() as f64);
+                        node_hours += job.node_hours();
+                        energy_wmin += s.energy_wmin;
+                    }
+                    UserRollup {
+                        user: *user,
+                        power,
+                        nodes,
+                        runtime,
+                        node_hours,
+                        energy_wmin,
+                        jobs: ids.len(),
+                    }
+                })
+                .collect()
+        })
+    }
+
+    pub(crate) fn app_rollups<'a>(&'a self, d: &TraceDataset) -> &'a [AppRollup] {
+        self.app_rollups.get_or_init(|| {
+            self.by_app(d)
+                .iter()
+                .map(|(app, ids)| {
+                    let mut power = Summary::new();
+                    for &id in ids {
+                        power.push(d.summaries[id.index()].per_node_power_w);
+                    }
+                    AppRollup {
+                        app: *app,
+                        power,
+                        jobs: ids.len(),
+                    }
+                })
+                .collect()
+        })
+    }
+
+    pub(crate) fn median_runtime(&self, d: &TraceDataset) -> Option<f64> {
+        *self.median_runtime.get_or_init(|| {
+            let runtimes: Vec<f64> = d.jobs.iter().map(|j| j.runtime_min() as f64).collect();
+            quantile::median(&runtimes).ok()
+        })
+    }
+
+    pub(crate) fn median_nodes(&self, d: &TraceDataset) -> Option<f64> {
+        *self.median_nodes.get_or_init(|| {
+            let sizes: Vec<f64> = d.jobs.iter().map(|j| j.nodes as f64).collect();
+            quantile::median(&sizes).ok()
+        })
+    }
+
+    pub(crate) fn duration_min(&self, d: &TraceDataset) -> u64 {
+        *self.duration_min.get_or_init(|| {
+            d.system_series
+                .last()
+                .map(|s| s.minute + 1)
+                .or_else(|| d.jobs.iter().map(|j| j.end_min).max())
+                .unwrap_or(0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobPowerSummary, JobRecord};
+    use crate::system::SystemSpec;
+
+    fn dataset() -> TraceDataset {
+        let mut jobs = Vec::new();
+        let mut summaries = Vec::new();
+        for i in 0..12u32 {
+            jobs.push(JobRecord {
+                id: JobId(i),
+                user: UserId(i % 3),
+                app: AppId(i % 2),
+                submit_min: 0,
+                start_min: 0,
+                end_min: 60 + i as u64,
+                nodes: 1 + (i % 4),
+                walltime_req_min: 120,
+            });
+            summaries.push(JobPowerSummary {
+                id: JobId(i),
+                per_node_power_w: 150.0 - i as f64,
+                energy_wmin: 100.0,
+                peak_overshoot: 0.1,
+                frac_time_above_10pct: 0.0,
+                temporal_cv: 0.05,
+                avg_spatial_spread_w: 10.0,
+                frac_time_spread_above_avg: 0.3,
+                energy_imbalance: 0.05,
+            });
+        }
+        TraceDataset {
+            system: SystemSpec::emmy().scaled(8),
+            jobs,
+            summaries,
+            system_series: vec![],
+            instrumented: vec![],
+            app_names: vec!["A".into(), "B".into()],
+            user_count: 3,
+            index: DatasetIndex::default(),
+        }
+    }
+
+    #[test]
+    fn powers_cached_and_stable() {
+        let d = dataset();
+        let a = d.per_node_powers().as_ptr();
+        let b = d.per_node_powers().as_ptr();
+        assert_eq!(a, b, "second call must reuse the cache");
+        assert_eq!(d.per_node_powers()[0], 150.0);
+        let sorted = d.sorted_per_node_powers();
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(sorted.len(), 12);
+    }
+
+    #[test]
+    fn groups_are_sorted_and_in_job_order() {
+        let d = dataset();
+        let by_user = d.users_with_jobs();
+        assert_eq!(by_user.len(), 3);
+        assert!(by_user.windows(2).all(|w| w[0].0 < w[1].0));
+        for (_, ids) in by_user {
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "job order preserved");
+        }
+        assert_eq!(d.jobs_of_user(UserId(0)).len(), 4);
+        assert_eq!(d.jobs_of_app(AppId(1)).len(), 6);
+        assert!(d.jobs_of_user(UserId(99)).is_empty());
+    }
+
+    #[test]
+    fn rollups_match_direct_accumulation() {
+        let d = dataset();
+        let rollups = d.user_rollups();
+        assert_eq!(rollups.len(), 3);
+        for r in rollups {
+            let mut power = Summary::new();
+            for (job, s) in d.iter_jobs() {
+                if job.user == r.user {
+                    power.push(s.per_node_power_w);
+                }
+            }
+            assert_eq!(r.power, power, "rollup must equal serial job-order pass");
+            assert_eq!(r.jobs, 4);
+        }
+        let apps = d.app_rollups();
+        assert_eq!(apps.len(), 2);
+        assert_eq!(apps[0].jobs + apps[1].jobs, 12);
+    }
+
+    #[test]
+    fn medians_match_quantile_module() {
+        let d = dataset();
+        let runtimes: Vec<f64> = d.jobs.iter().map(|j| j.runtime_min() as f64).collect();
+        assert_eq!(
+            d.median_runtime_min(),
+            Some(quantile::median(&runtimes).unwrap())
+        );
+        assert!(d.median_nodes().is_some());
+    }
+
+    #[test]
+    fn clone_and_reset_drop_caches() {
+        let mut d = dataset();
+        let _ = d.per_node_powers();
+        let cloned = d.clone();
+        assert!(cloned.index.per_node_powers.get().is_none());
+        d.summaries[0].per_node_power_w = 1.0;
+        d.reset_index();
+        assert_eq!(d.per_node_powers()[0], 1.0);
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let mut d = dataset();
+        d.jobs.clear();
+        d.summaries.clear();
+        assert!(d.per_node_powers().is_empty());
+        assert!(d.users_with_jobs().is_empty());
+        assert_eq!(d.median_runtime_min(), None);
+        assert_eq!(d.median_nodes(), None);
+    }
+}

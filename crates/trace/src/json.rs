@@ -76,6 +76,7 @@ mod tests {
             ],
             app_names: vec!["Gromacs".into()],
             user_count: 1,
+            index: Default::default(),
         }
     }
 

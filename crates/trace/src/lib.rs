@@ -28,6 +28,7 @@
 pub mod csv;
 pub mod dataset;
 pub mod ids;
+pub mod index;
 pub mod job;
 pub mod json;
 pub mod series;
@@ -37,6 +38,7 @@ pub mod validate;
 
 pub use dataset::TraceDataset;
 pub use ids::{AppId, JobId, NodeId, UserId};
+pub use index::{AppRollup, DatasetIndex, UserRollup};
 pub use job::{JobPowerSummary, JobRecord};
 pub use series::JobSeries;
 pub use system::SystemSpec;

@@ -164,6 +164,7 @@ mod tests {
             instrumented: vec![],
             app_names: vec!["Gromacs".into(), "WRF".into()],
             user_count: 4,
+            index: Default::default(),
         }
     }
 

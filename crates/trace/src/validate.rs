@@ -183,6 +183,7 @@ mod tests {
             instrumented: vec![],
             app_names: vec!["Gromacs".into()],
             user_count: 1,
+            index: Default::default(),
         }
     }
 

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 gate: build, test, lint — fully offline, workspace-local shims.
+# Run from the repo root: ./scripts/tier1.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+echo "tier1: OK"

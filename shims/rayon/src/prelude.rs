@@ -1,0 +1,3 @@
+//! The traits user code imports with `use rayon::prelude::*;`.
+
+pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};

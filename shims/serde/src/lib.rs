@@ -1,0 +1,310 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The container this workspace builds in has no access to a crates.io
+//! mirror, so `serde` is provided as a local path crate via
+//! `[patch.crates-io]`. It is deliberately *not* a generic
+//! serializer-framework: the workspace only ever serializes to and from
+//! JSON, so the two traits here speak the in-crate [`json`] data model
+//! directly. The derive macros (re-exported from the sibling
+//! `serde_derive` shim) generate impls against this surface, and the
+//! `serde_json` shim provides the usual `to_string`/`from_str` entry
+//! points on top.
+//!
+//! Determinism note: everything serializes in declaration/insertion
+//! order, and unordered collections (`HashSet`) are sorted before
+//! writing, so serializing the same value twice always produces
+//! identical bytes — the property the workspace's determinism tests
+//! rely on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// A value that can write itself to a JSON [`json::Writer`].
+pub trait Serialize {
+    /// Appends `self` to the writer as one JSON value.
+    fn serialize_json(&self, w: &mut json::Writer);
+}
+
+/// A value that can reconstruct itself from a parsed [`json::Value`].
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a JSON value.
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        (**self).serialize_json(w);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        (**self).serialize_json(w);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        T::deserialize_json(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, w: &mut json::Writer) {
+                w.write_u64(*self as u64);
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                let u = v.as_u64().ok_or_else(|| {
+                    json::Error::msg(format!("expected unsigned integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(u).map_err(|_| {
+                    json::Error::msg(format!("{u} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, w: &mut json::Writer) {
+                w.write_i64(*self as i64);
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                let i = v.as_i64().ok_or_else(|| {
+                    json::Error::msg(format!("expected integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(i).map_err(|_| {
+                    json::Error::msg(format!("{i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        w.write_f64(*self);
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            // Non-finite floats serialize as JSON null; round them back
+            // to NaN so summary structs survive a round trip.
+            json::Value::Null => Ok(f64::NAN),
+            _ => v
+                .as_f64()
+                .ok_or_else(|| json::Error::msg(format!("expected number, found {}", v.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        w.write_f64(*self as f64);
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        f64::deserialize_json(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        w.write_bool(*self);
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_bool()
+            .ok_or_else(|| json::Error::msg(format!("expected bool, found {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        w.write_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        w.write_str(self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| json::Error::msg(format!("expected string, found {}", v.kind())))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        w.begin_array();
+        for item in self {
+            item.serialize_json(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        self.as_slice().serialize_json(w);
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        let items = Vec::<T>::deserialize_json(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| json::Error::msg(format!("expected array of {N} elements, found {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        self.as_slice().serialize_json(w);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| json::Error::msg(format!("expected array, found {}", v.kind())))?;
+        items.iter().map(T::deserialize_json).collect()
+    }
+}
+
+impl<K, V> Serialize for std::collections::HashMap<K, V>
+where
+    K: std::fmt::Display + Ord + std::hash::Hash + Eq,
+    V: Serialize,
+{
+    fn serialize_json(&self, w: &mut json::Writer) {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        w.begin_object();
+        for (k, v) in entries {
+            w.key(&k.to_string());
+            v.serialize_json(w);
+        }
+        w.end_object();
+    }
+}
+
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: std::str::FromStr + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| json::Error::msg(format!("expected object, found {}", v.kind())))?;
+        entries
+            .iter()
+            .map(|(k, val)| {
+                let key = k
+                    .parse::<K>()
+                    .map_err(|_| json::Error::msg(format!("invalid map key {k:?}")))?;
+                Ok((key, V::deserialize_json(val)?))
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, w: &mut json::Writer) {
+        match self {
+            Some(x) => x.serialize_json(w),
+            None => w.write_null(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal; $($t:ident : $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, w: &mut json::Writer) {
+                w.begin_array();
+                $(self.$idx.serialize_json(w);)+
+                w.end_array();
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                let items = v.as_array().ok_or_else(|| {
+                    json::Error::msg(format!("expected {}-tuple array, found {}", $len, v.kind()))
+                })?;
+                if items.len() != $len {
+                    return Err(json::Error::msg(format!(
+                        "expected array of length {}, found {}", $len, items.len()
+                    )));
+                }
+                Ok(($($t::deserialize_json(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+impl_tuple!(2; A: 0, B: 1);
+impl_tuple!(3; A: 0, B: 1, C: 2);
+impl_tuple!(4; A: 0, B: 1, C: 2, D: 3);
+
+impl<T> Serialize for std::collections::HashSet<T>
+where
+    T: Serialize + Ord,
+{
+    fn serialize_json(&self, w: &mut json::Writer) {
+        // Sorted so identical sets always serialize to identical bytes.
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        w.begin_array();
+        for item in items {
+            item.serialize_json(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T> Deserialize for std::collections::HashSet<T>
+where
+    T: Deserialize + Eq + std::hash::Hash,
+{
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| json::Error::msg(format!("expected array, found {}", v.kind())))?;
+        items.iter().map(T::deserialize_json).collect()
+    }
+}

@@ -1,0 +1,404 @@
+//! Offline stand-in for the real `serde_derive` proc-macro crate.
+//!
+//! The workspace builds in an environment with no registry access, so
+//! `serde`/`serde_derive` are provided as local path crates via
+//! `[patch.crates-io]`. This derive supports exactly the shapes the
+//! workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(default)]` and
+//!   `#[serde(skip)]` on fields),
+//! * single-field tuple structs (always serialized transparently, as
+//!   with `#[serde(transparent)]`),
+//! * enums with unit variants (serialized as the variant name string),
+//! * enums with struct variants (externally tagged:
+//!   `{"Variant": {...fields...}}`).
+//!
+//! Anything else (generics, multi-field tuple structs, newtype enum
+//! variants) panics at compile time with a clear message, which is the
+//! signal to extend this shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    Newtype,
+    Enum(Vec<(String, Option<Vec<Field>>)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Flags found in `#[serde(...)]` attributes.
+#[derive(Default)]
+struct SerdeFlags {
+    skip: bool,
+    default: bool,
+    transparent: bool,
+}
+
+/// Skips attributes starting at `tokens[i]`, accumulating serde flags.
+/// Returns the index of the first non-attribute token.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, flags: &mut SerdeFlags) -> usize {
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for t in args.stream() {
+                            if let TokenTree::Ident(word) = t {
+                                match word.to_string().as_str() {
+                                    "skip" => flags.skip = true,
+                                    "default" => flags.default = true,
+                                    "transparent" => flags.transparent = true,
+                                    other => panic!(
+                                        "serde_derive shim: unsupported serde attribute `{other}`"
+                                    ),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility qualifier.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses the body of `{ ... }` as named fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut flags = SerdeFlags::default();
+        i = skip_attrs(&tokens, i, &mut flags);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after `{name}`, found `{other}`"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip: flags.skip,
+            default: flags.default,
+        });
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct body `( ... )`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for t in stream {
+        any = true;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if !any {
+        0
+    } else {
+        commas + 1 - usize::from(trailing_comma)
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Option<Vec<Field>>)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut flags = SerdeFlags::default();
+        i = skip_attrs(&tokens, i, &mut flags);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                i += 1;
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: newtype enum variant `{name}` is unsupported")
+            }
+            _ => None,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut flags = SerdeFlags::default();
+    let mut i = skip_attrs(&tokens, 0, &mut flags);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found `{other}`"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic item `{name}` is unsupported");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    1 => Shape::Newtype,
+                    n => panic!(
+                        "serde_derive shim: tuple struct `{name}` with {n} fields is unsupported"
+                    ),
+                }
+            }
+            _ => panic!("serde_derive shim: unit struct `{name}` is unsupported"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive shim: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+fn wrap_impl(trait_body: String) -> TokenStream {
+    format!("#[automatically_derived]\n#[allow(unused, clippy::all)]\n{trait_body}")
+        .parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Newtype => "::serde::Serialize::serialize_json(&self.0, w);".to_string(),
+        Shape::NamedStruct(fields) => {
+            let mut b = String::from("w.begin_object();");
+            for f in fields.iter().filter(|f| !f.skip) {
+                b.push_str(&format!(
+                    "w.key(\"{n}\"); ::serde::Serialize::serialize_json(&self.{n}, w);",
+                    n = f.name
+                ));
+            }
+            b.push_str("w.end_object();");
+            b
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => arms.push_str(&format!("{name}::{v} => w.write_str(\"{v}\"),")),
+                    Some(fs) => {
+                        let pat: Vec<&str> = fs
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.as_str())
+                            .collect();
+                        let mut inner = format!(
+                            "w.begin_object(); w.key(\"{v}\"); w.begin_object();"
+                        );
+                        for n in &pat {
+                            inner.push_str(&format!(
+                                "w.key(\"{n}\"); ::serde::Serialize::serialize_json({n}, w);"
+                            ));
+                        }
+                        inner.push_str("w.end_object(); w.end_object();");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {fields_pat} .. }} => {{ {inner} }},",
+                            fields_pat = pat
+                                .iter()
+                                .map(|n| format!("{n},"))
+                                .collect::<String>()
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    wrap_impl(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, w: &mut ::serde::json::Writer) {{ {body} }}\n\
+         }}"
+    ))
+}
+
+fn named_fields_ctor(fields: &[Field], obj_expr: &str) -> String {
+    let mut b = String::new();
+    for f in fields {
+        let n = &f.name;
+        if f.skip {
+            b.push_str(&format!("{n}: ::core::default::Default::default(),"));
+        } else if f.default {
+            b.push_str(&format!(
+                "{n}: match ::serde::json::find({obj_expr}, \"{n}\") {{\
+                 Some(x) => ::serde::Deserialize::deserialize_json(x)?,\
+                 None => ::core::default::Default::default() }},"
+            ));
+        } else {
+            b.push_str(&format!(
+                "{n}: ::serde::Deserialize::deserialize_json(\
+                 ::serde::json::get({obj_expr}, \"{n}\"))?,"
+            ));
+        }
+    }
+    b
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Newtype => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize_json(v)?))"
+        ),
+        Shape::NamedStruct(fields) => format!(
+            "let obj = v.as_object().ok_or_else(|| \
+             ::serde::json::Error::msg(\"expected object for {name}\"))?;\
+             ::core::result::Result::Ok({name} {{ {ctor} }})",
+            ctor = named_fields_ctor(fields, "obj")
+        ),
+        Shape::Enum(variants) => {
+            let unit: Vec<&(String, Option<Vec<Field>>)> =
+                variants.iter().filter(|(_, f)| f.is_none()).collect();
+            let structured: Vec<&(String, Option<Vec<Field>>)> =
+                variants.iter().filter(|(_, f)| f.is_some()).collect();
+            let mut b = String::new();
+            if !unit.is_empty() {
+                let mut arms = String::new();
+                for (v, _) in &unit {
+                    arms.push_str(&format!(
+                        "\"{v}\" => return ::core::result::Result::Ok({name}::{v}),"
+                    ));
+                }
+                b.push_str(&format!(
+                    "if let Some(s) = v.as_str() {{ match s {{ {arms} other => return \
+                     ::core::result::Result::Err(::serde::json::Error::msg(format!(\
+                     \"unknown variant `{{other}}` for {name}\"))) }} }}"
+                ));
+            }
+            if !structured.is_empty() {
+                let mut arms = String::new();
+                for (v, fields) in &structured {
+                    let fs = fields.as_ref().expect("structured variant has fields");
+                    arms.push_str(&format!(
+                        "\"{v}\" => {{ let inner = val.as_object().ok_or_else(|| \
+                         ::serde::json::Error::msg(\"expected object body for {name}::{v}\"))?;\
+                         ::core::result::Result::Ok({name}::{v} {{ {ctor} }}) }},",
+                        ctor = named_fields_ctor(fs, "inner")
+                    ));
+                }
+                b.push_str(&format!(
+                    "let obj = v.as_object().ok_or_else(|| \
+                     ::serde::json::Error::msg(\"expected object for {name}\"))?;\
+                     let (tag, val) = obj.first().ok_or_else(|| \
+                     ::serde::json::Error::msg(\"empty enum object for {name}\"))?;\
+                     match tag.as_str() {{ {arms} other => \
+                     ::core::result::Result::Err(::serde::json::Error::msg(format!(\
+                     \"unknown variant `{{other}}` for {name}\"))) }}"
+                ));
+            } else {
+                b.push_str(&format!(
+                    "::core::result::Result::Err(::serde::json::Error::msg(\
+                     \"expected string variant for {name}\"))"
+                ));
+            }
+            b
+        }
+    };
+    wrap_impl(format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_json(v: &::serde::json::Value) -> \
+         ::core::result::Result<Self, ::serde::json::Error> {{ {body} }}\n\
+         }}"
+    ))
+}

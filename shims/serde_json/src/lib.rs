@@ -1,0 +1,46 @@
+//! Offline stand-in for the real `serde_json` crate, built on the
+//! workspace's `serde` shim. Provides the handful of entry points the
+//! workspace uses: `to_string`, `to_string_pretty`, `to_writer`,
+//! `from_str`, `from_reader`, plus the [`Value`]/[`Error`] types.
+
+pub use serde::json::{Error, Value};
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = serde::json::Writer::new(false);
+    value.serialize_json(&mut w);
+    Ok(w.into_string())
+}
+
+/// Serializes a value to two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = serde::json::Writer::new(true);
+    value.serialize_json(&mut w);
+    Ok(w.into_string())
+}
+
+/// Serializes a value as compact JSON into an `io::Write`.
+pub fn to_writer<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::msg(format!("io error: {e}")))
+}
+
+/// Parses a value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = serde::json::parse(s)?;
+    T::deserialize_json(&value)
+}
+
+/// Parses a value from a JSON reader.
+pub fn from_reader<R: std::io::Read, T: serde::Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader
+        .read_to_string(&mut buf)
+        .map_err(|e| Error::msg(format!("io error: {e}")))?;
+    from_str(&buf)
+}
