@@ -12,13 +12,27 @@
 //! determinism"), so the serial and parallel runs produce the same
 //! bytes; only the wall time differs. Available cores are recorded so
 //! single-core results are not mistaken for a parallelism failure.
+//!
+//! Stage-level breakdowns (`stages`) come from the `hpcpower-obs` spans
+//! the pipeline itself records: `simulate` (trace materialization),
+//! `index` (dataset index warm-up), `analyze` (machine-readable report),
+//! and `report.render` (text report). The registry is reset before each
+//! run so the spans belong to exactly one configuration.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use hpcpower::prediction::PredictionConfig;
-use hpcpower::report;
+use hpcpower::{json_report, report};
 use hpcpower_sim::{simulate, with_threads, SimConfig};
+
+/// Per-stage wall times extracted from the run's span snapshot.
+struct Stages {
+    simulate_s: f64,
+    index_s: f64,
+    analyze_s: f64,
+    report_s: f64,
+}
 
 struct Run {
     threads_requested: usize,
@@ -26,6 +40,7 @@ struct Run {
     simulate_s: f64,
     report_s: f64,
     jobs: usize,
+    stages: Stages,
 }
 
 impl Run {
@@ -38,21 +53,47 @@ impl Run {
     }
 }
 
+fn span_secs(snap: &hpcpower_obs::Snapshot, name: &str) -> f64 {
+    snap.span(name).map_or(0.0, |s| s.total_secs())
+}
+
 fn run_once(cfg: &SimConfig, pcfg: &PredictionConfig, threads: usize) -> Run {
+    // Fresh registry per run: the stage spans below must describe this
+    // configuration only.
+    hpcpower_obs::reset();
     let mut cfg = cfg.clone();
     cfg.threads = threads;
     let threads_used = with_threads(threads, rayon::current_num_threads);
     let t0 = Instant::now();
     let dataset = simulate(cfg);
     let simulate_s = t0.elapsed().as_secs_f64();
+    // Warm the memoized dataset index as its own stage, so the `analyze`
+    // and `report.render` spans time the analyses rather than the first
+    // section's incidental cache build.
+    hpcpower_obs::time("index", || {
+        let _ = dataset.sorted_per_node_powers();
+        let _ = dataset.user_rollups();
+        let _ = dataset.app_rollups();
+    });
+    let full = with_threads(threads, || {
+        hpcpower_obs::time("analyze", || json_report::build(&dataset, pcfg))
+    });
     let t1 = Instant::now();
     let text = with_threads(threads, || report::render_full(&dataset, pcfg));
     let report_s = t1.elapsed().as_secs_f64();
+    let snap = hpcpower_obs::snapshot();
+    let stages = Stages {
+        simulate_s: span_secs(&snap, "simulate"),
+        index_s: span_secs(&snap, "index"),
+        analyze_s: span_secs(&snap, "analyze"),
+        report_s: span_secs(&snap, "report.render"),
+    };
     eprintln!(
         "  threads={threads} ({threads_used} workers): simulate {simulate_s:.2}s, \
-         report {report_s:.2}s ({} jobs, {} report bytes)",
+         report {report_s:.2}s ({} jobs, {} report bytes, {} analyses)",
         dataset.len(),
-        text.len()
+        text.len(),
+        usize::from(full.prediction.is_some()) + usize::from(full.powercap.is_some())
     );
     Run {
         threads_requested: threads,
@@ -60,6 +101,7 @@ fn run_once(cfg: &SimConfig, pcfg: &PredictionConfig, threads: usize) -> Run {
         simulate_s,
         report_s,
         jobs: dataset.len(),
+        stages,
     }
 }
 
@@ -72,6 +114,9 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    // The stage breakdowns ride on the pipeline's own telemetry spans.
+    hpcpower_obs::enable();
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let cfg = if small {
@@ -109,7 +154,13 @@ fn main() {
         let _ = writeln!(json, "    \"simulate_s\": {:.3},", run.simulate_s);
         let _ = writeln!(json, "    \"report_s\": {:.3},", run.report_s);
         let _ = writeln!(json, "    \"wall_s\": {:.3},", run.total_s());
-        let _ = writeln!(json, "    \"jobs_per_s\": {:.1}", run.jobs_per_s());
+        let _ = writeln!(json, "    \"jobs_per_s\": {:.1},", run.jobs_per_s());
+        let _ = writeln!(json, "    \"stages\": {{");
+        let _ = writeln!(json, "      \"simulate_s\": {:.3},", run.stages.simulate_s);
+        let _ = writeln!(json, "      \"index_s\": {:.3},", run.stages.index_s);
+        let _ = writeln!(json, "      \"analyze_s\": {:.3},", run.stages.analyze_s);
+        let _ = writeln!(json, "      \"report_s\": {:.3}", run.stages.report_s);
+        let _ = writeln!(json, "    }}");
         let _ = writeln!(json, "  }},");
     }
     let _ = writeln!(json, "  \"speedup\": {speedup:.2}");

@@ -29,9 +29,17 @@ hpcpower — HPC job power characterization & prediction
 USAGE: hpcpower <command> [flags]
 
 GLOBAL FLAGS:
-  --threads N  Worker threads for simulation and report generation
-               (default 0 = all cores). Output is bit-identical for
-               any value.
+  --threads N        Worker threads for simulation and report generation
+                     (default 0 = all cores). Output is bit-identical for
+                     any value.
+  --metrics-out PATH Collect pipeline telemetry (spans, counters, gauges,
+                     histograms) and write it as one JSON document.
+                     Command output bytes are unaffected.
+  --log-format FMT   Print a telemetry summary to stderr after the
+                     command: 'text' (aligned table) or 'json' (one
+                     JSON object per metric).
+  --quiet            Suppress progress and telemetry chatter on stderr
+                     (stdout and --metrics-out files are unaffected).
 
 COMMANDS:
   simulate   Generate a calibrated cluster trace and write it to disk
@@ -87,12 +95,14 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         .get("out")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from(format!("trace-{system}")));
-    eprintln!(
-        "simulating {} ({} nodes, {} days, seed {seed})...",
-        cfg.system.name,
-        cfg.system.nodes,
-        cfg.horizon_min / 1440
-    );
+    if !args.has("quiet") {
+        eprintln!(
+            "simulating {} ({} nodes, {} days, seed {seed})...",
+            cfg.system.name,
+            cfg.system.nodes,
+            cfg.horizon_min / 1440
+        );
+    }
     let dataset = simulate(cfg);
     validate::validate(&dataset).map_err(|e| e.to_string())?;
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
@@ -204,20 +214,73 @@ fn check_csv(path: &Path) -> Result<usize, String> {
     Ok(jobs.len())
 }
 
+/// Telemetry options parsed from the global flags. Telemetry is enabled
+/// iff `--metrics-out` or `--log-format` is given; otherwise every
+/// instrumentation point in the pipeline stays on its disabled fast
+/// path.
+struct Telemetry {
+    metrics_out: Option<PathBuf>,
+    log_format: Option<hpcpower_obs::LogFormat>,
+    quiet: bool,
+}
+
+impl Telemetry {
+    fn from_args(args: &Args) -> Result<Option<Self>, String> {
+        let metrics_out = args.get("metrics-out").map(PathBuf::from);
+        let log_format = args
+            .get("log-format")
+            .map(|s| s.parse::<hpcpower_obs::LogFormat>())
+            .transpose()?;
+        if metrics_out.is_none() && log_format.is_none() {
+            return Ok(None);
+        }
+        Ok(Some(Self {
+            metrics_out,
+            log_format,
+            quiet: args.has("quiet"),
+        }))
+    }
+
+    /// Writes the metrics file and/or prints the stderr summary.
+    fn emit(&self) -> Result<(), String> {
+        let snap = hpcpower_obs::snapshot();
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, snap.to_json())
+                .map_err(|e| format!("cannot write metrics to {}: {e}", path.display()))?;
+        }
+        if let Some(fmt) = self.log_format {
+            if !self.quiet {
+                eprint!("{}", hpcpower_obs::render(&snap, fmt));
+            }
+        }
+        Ok(())
+    }
+}
+
 fn main() {
     let args = Args::from_env().unwrap_or_else(|e| fail(e));
+    let telemetry = Telemetry::from_args(&args).unwrap_or_else(|e| fail(e));
+    if telemetry.is_some() {
+        hpcpower_obs::enable();
+    }
+    // The command span closes before `emit` snapshots the registry, so
+    // the top-level timing ("analyze", "simulate", ...) is included.
     let result = match args.command.as_deref() {
-        Some("simulate") => cmd_simulate(&args),
-        Some("analyze") => cmd_analyze(&args),
-        Some("compare") => cmd_compare(&args),
-        Some("predict") => cmd_predict(&args),
-        Some("powercap") => cmd_powercap(&args),
+        Some("simulate") => hpcpower_obs::time("simulate.cmd", || cmd_simulate(&args)),
+        Some("analyze") => hpcpower_obs::time("analyze", || cmd_analyze(&args)),
+        Some("compare") => hpcpower_obs::time("compare", || cmd_compare(&args)),
+        Some("predict") => hpcpower_obs::time("predict", || cmd_predict(&args)),
+        Some("powercap") => hpcpower_obs::time("powercap", || cmd_powercap(&args)),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
         }
         Some(other) => Err(format!("unknown command {other:?}")),
     };
+    let result = result.and_then(|()| match &telemetry {
+        Some(t) => t.emit(),
+        None => Ok(()),
+    });
     if let Err(e) = result {
         fail(e);
     }

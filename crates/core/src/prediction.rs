@@ -121,9 +121,15 @@ pub fn analyze(dataset: &TraceDataset, cfg: &PredictionConfig) -> Result<Predict
         validation_fraction: cfg.validation_fraction,
         seed: cfg.seed,
     };
-    let bdt = evaluate(&data, &eval_cfg, |t| DecisionTree::fit(t, cfg.tree));
-    let knn = evaluate(&data, &eval_cfg, |t| Knn::fit(t, cfg.knn));
-    let flda = evaluate(&data, &eval_cfg, |t| Flda::fit(t, cfg.flda));
+    let bdt = hpcpower_obs::time("ml.eval.BDT", || {
+        evaluate(&data, &eval_cfg, |t| DecisionTree::fit(t, cfg.tree))
+    });
+    let knn = hpcpower_obs::time("ml.eval.KNN", || {
+        evaluate(&data, &eval_cfg, |t| Knn::fit(t, cfg.knn))
+    });
+    let flda = hpcpower_obs::time("ml.eval.FLDA", || {
+        evaluate(&data, &eval_cfg, |t| Flda::fit(t, cfg.flda))
+    });
 
     let mut models = Vec::new();
     for (name, report) in [("BDT", &bdt), ("KNN", &knn), ("FLDA", &flda)] {

@@ -397,6 +397,7 @@ pub fn render_pricing(d: &TraceDataset) -> String {
 /// memoized [`hpcpower_trace::DatasetIndex`], whose `OnceLock` caches
 /// are computed exactly once no matter which section asks first.
 pub fn render_full(d: &TraceDataset, cfg: &PredictionConfig) -> String {
+    let _span = hpcpower_obs::span!("report.render");
     let mut out = String::new();
     writeln!(
         out,
@@ -407,16 +408,19 @@ pub fn render_full(d: &TraceDataset, cfg: &PredictionConfig) -> String {
         d.system.nodes
     )
     .unwrap();
+    // Each section times itself under a `report.section.*` span; the
+    // spans run on whichever rayon worker picks the section up and fold
+    // into the global registry, never into the rendered bytes.
     type Section<'a> = Box<dyn FnOnce() -> String + Send + 'a>;
     let sections: Vec<Section<'_>> = vec![
-        Box::new(|| render_system_level(d)),
-        Box::new(|| render_job_level(d)),
-        Box::new(|| render_temporal(d)),
-        Box::new(|| render_spatial(d)),
-        Box::new(|| render_user_level(d)),
-        Box::new(|| render_prediction(d, cfg)),
-        Box::new(|| render_powercap(d, cfg)),
-        Box::new(|| render_pricing(d)),
+        Box::new(|| hpcpower_obs::time("report.section.system_level", || render_system_level(d))),
+        Box::new(|| hpcpower_obs::time("report.section.job_level", || render_job_level(d))),
+        Box::new(|| hpcpower_obs::time("report.section.temporal", || render_temporal(d))),
+        Box::new(|| hpcpower_obs::time("report.section.spatial", || render_spatial(d))),
+        Box::new(|| hpcpower_obs::time("report.section.user_level", || render_user_level(d))),
+        Box::new(|| hpcpower_obs::time("report.section.prediction", || render_prediction(d, cfg))),
+        Box::new(|| hpcpower_obs::time("report.section.powercap", || render_powercap(d, cfg))),
+        Box::new(|| hpcpower_obs::time("report.section.pricing", || render_pricing(d))),
     ];
     for section in sections.into_par_iter().map(|f| f()).collect::<Vec<String>>() {
         out.push_str(&section);
@@ -430,6 +434,7 @@ pub fn render_full(d: &TraceDataset, cfg: &PredictionConfig) -> String {
 /// concatenation order is fixed, so the output is byte-identical to the
 /// serial version.
 pub fn render_pair(emmy: &TraceDataset, meggie: &TraceDataset, cfg: &PredictionConfig) -> String {
+    let _span = hpcpower_obs::span!("report.pair");
     type Job<'a> = Box<dyn FnOnce() -> String + Send + 'a>;
     let jobs: Vec<Job<'_>> = vec![
         Box::new(|| render_full(emmy, cfg)),

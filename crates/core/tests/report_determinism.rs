@@ -37,6 +37,54 @@ fn pair_report_identical_across_thread_counts() {
     assert_eq!(serial, parallel);
 }
 
+/// Observability must only *observe*: the text and JSON reports are
+/// byte-identical with telemetry enabled or disabled, at 1 and 4
+/// threads, while the registry fills with per-section timings.
+///
+/// The baselines render before `enable()` and the test never calls
+/// `reset()`/`disable()`; the sibling tests only compare outputs with
+/// each other, so a concurrently enabled registry cannot affect them.
+#[test]
+fn telemetry_does_not_change_report_bytes() {
+    let dataset = simulate(SimConfig::emmy_small(9));
+    let cfg = small_cfg();
+    let baseline_text = with_threads(1, || report::render_full(&dataset, &cfg));
+    let baseline_json =
+        serde_json::to_string(&with_threads(1, || json_report::build(&dataset, &cfg)))
+            .expect("serializes");
+    hpcpower_obs::enable();
+    for threads in [1, 4] {
+        let text = with_threads(threads, || report::render_full(&dataset, &cfg));
+        assert_eq!(
+            baseline_text, text,
+            "telemetry changed report text at {threads} threads"
+        );
+        let json =
+            serde_json::to_string(&with_threads(threads, || json_report::build(&dataset, &cfg)))
+                .expect("serializes");
+        assert_eq!(
+            baseline_json, json,
+            "telemetry changed JSON report at {threads} threads"
+        );
+    }
+    let snap = hpcpower_obs::snapshot();
+    for span in [
+        "report.render",
+        "report.json",
+        "report.section.prediction",
+        "report.section.system_level",
+        "report.part.prediction",
+        "ml.eval.BDT",
+        "ml.fit",
+    ] {
+        let s = snap.span(span).unwrap_or_else(|| panic!("missing span {span}"));
+        assert!(s.total_ns > 0, "span {span} must have nonzero time");
+    }
+    // The dataset index was warmed by the disabled baseline render, so
+    // every enabled-phase access is a memoization hit.
+    assert!(snap.counter("trace.index.hits").unwrap_or(0) > 0);
+}
+
 #[test]
 fn json_report_identical_across_thread_counts() {
     let dataset = simulate(SimConfig::emmy_small(7));

@@ -92,7 +92,10 @@ where
             let (train_idx, val_idx) =
                 data.split_user_covered(cfg.validation_fraction, cfg.seed + s as u64);
             let train_set = data.select(&train_idx);
-            let model = train(&train_set).ok()?;
+            // One `ml.fit` observation per split, recorded from whatever
+            // rayon worker runs it — the span aggregate counts fits
+            // across all models and splits.
+            let model = hpcpower_obs::time("ml.fit", || train(&train_set)).ok()?;
             let mut errors = Vec::with_capacity(val_idx.len());
             let mut per_user: HashMap<u32, (f64, u32)> = HashMap::new();
             for &i in &val_idx {

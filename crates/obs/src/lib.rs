@@ -1,0 +1,189 @@
+//! # hpcpower-obs
+//!
+//! Observability substrate for the HPC power suite, built from scratch
+//! (the workspace is offline, so no `tracing`/`metrics` dependency):
+//!
+//! - **Spans** — [`span!`] opens an RAII guard that times a region of
+//!   code and folds `(count, total, min, max)` per span name into the
+//!   global registry on drop. Spans nest (a thread-local stack records
+//!   the parent) and aggregate safely across rayon workers: any thread
+//!   may open any span at any time.
+//! - **Metrics registry** — monotonic [counters](Registry::counter_add),
+//!   [gauges](Registry::gauge_set), and fixed-bucket
+//!   [histograms](Registry::histogram_record) whose moment statistics
+//!   ride on the [`hpcpower_stats`] Welford [`Summary`] accumulator.
+//! - **Sinks** — a [`Snapshot`] of the registry renders as a
+//!   human-readable text table, as JSON-lines (one metric per line), or
+//!   as a single JSON document for `--metrics-out` files; the format is
+//!   selected at runtime ([`LogFormat`]).
+//!
+//! ## Overhead contract
+//!
+//! Telemetry is **off by default** and off-cheap: every entry point
+//! checks one relaxed atomic load and returns immediately when
+//! disabled — no locks, no allocation, no clock reads. When enabled,
+//! instrumentation only *observes* (clock reads, counter folds); it
+//! never participates in pipeline computation, so report and dataset
+//! bytes are identical with observability on or off, at any thread
+//! count. `crates/sim/tests/determinism.rs` and
+//! `crates/core/tests/report_determinism.rs` prove the contract.
+//!
+//! ## Usage
+//!
+//! ```
+//! hpcpower_obs::enable();
+//! {
+//!     let _span = hpcpower_obs::span!("demo.stage");
+//!     hpcpower_obs::counter_add("demo.items", 3);
+//! }
+//! let snap = hpcpower_obs::snapshot();
+//! assert_eq!(snap.counter("demo.items"), Some(3));
+//! assert!(snap.span("demo.stage").is_some());
+//! hpcpower_obs::disable();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod registry;
+pub mod sink;
+pub mod snapshot;
+pub mod span;
+
+use std::sync::OnceLock;
+
+use hpcpower_stats::Summary;
+
+pub use registry::{Histogram, Registry, DEFAULT_BUCKETS};
+pub use sink::{render, LogFormat};
+pub use snapshot::{HistogramSnapshot, Snapshot, SpanStats};
+pub use span::SpanGuard;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every instrumentation point reports to.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Whether telemetry collection is currently enabled (default: off).
+#[inline]
+pub fn enabled() -> bool {
+    global().is_enabled()
+}
+
+/// Turns telemetry collection on.
+pub fn enable() {
+    global().set_enabled(true);
+}
+
+/// Turns telemetry collection off. Metrics recorded so far are kept
+/// until [`reset`].
+pub fn disable() {
+    global().set_enabled(false);
+}
+
+/// Clears every counter, gauge, histogram, and span aggregate.
+pub fn reset() {
+    global().reset();
+}
+
+/// Takes a deterministic (name-sorted) snapshot of the registry.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Adds `delta` to the monotonic counter `name` (no-op when disabled).
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    global().counter_add(name, delta);
+}
+
+/// Sets the gauge `name` to `value` (no-op when disabled).
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    global().gauge_set(name, value);
+}
+
+/// Records `value` into the histogram `name` with the
+/// [`DEFAULT_BUCKETS`] layout (no-op when disabled).
+#[inline]
+pub fn histogram_record(name: &str, value: f64) {
+    global().histogram_record(name, value);
+}
+
+/// Records many values into the histogram `name` under one lock
+/// (no-op when disabled; the iterator is not consumed in that case).
+#[inline]
+pub fn histogram_record_many(name: &str, values: impl IntoIterator<Item = f64>) {
+    global().histogram_record_many(name, values);
+}
+
+/// Runs `f` inside a span named `name` and returns its result.
+///
+/// Equivalent to opening [`span!`] for the duration of the closure;
+/// when telemetry is disabled the only cost is the inert guard.
+#[inline]
+pub fn time<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    let _guard = SpanGuard::enter(name);
+    f()
+}
+
+/// Opens an RAII span guard: `let _span = hpcpower_obs::span!("stage");`.
+///
+/// The region from the macro to the end of the guard's scope is timed
+/// and aggregated under the given name. Spans opened while another span
+/// is active *on the same thread* record it as their parent.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}
+
+/// Builds a [`Summary`] over the values of an iterator — convenience
+/// for instrumentation sites that want moment statistics of a derived
+/// quantity without collecting it.
+pub fn summarize(values: impl IntoIterator<Item = f64>) -> Summary {
+    let mut s = Summary::new();
+    for v in values {
+        s.push(v);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The global-API surface is covered by one test because the
+    /// registry is process-wide state shared with any concurrently
+    /// running test; instance-level behaviour is tested per module.
+    #[test]
+    fn global_api_end_to_end() {
+        enable();
+        counter_add("test.global.counter", 2);
+        counter_add("test.global.counter", 3);
+        gauge_set("test.global.gauge", 1.5);
+        histogram_record("test.global.hist", 0.25);
+        {
+            let _outer = span!("test.global.outer");
+            let _inner = span!("test.global.inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.global.counter"), Some(5));
+        assert_eq!(snap.gauge("test.global.gauge"), Some(1.5));
+        let inner = snap.span("test.global.inner").expect("inner span recorded");
+        assert!(inner.total_ns > 0);
+        assert_eq!(inner.parent.as_deref(), Some("test.global.outer"));
+        assert!(snap.span("test.global.outer").unwrap().total_ns >= inner.total_ns);
+        disable();
+    }
+
+    #[test]
+    fn time_returns_closure_result() {
+        // Must hold regardless of the global enabled state.
+        assert_eq!(time("test.time.noop", || 41 + 1), 42);
+    }
+}

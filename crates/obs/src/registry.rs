@@ -1,0 +1,389 @@
+//! The metrics registry: counters, gauges, histograms, span aggregates.
+//!
+//! One [`Registry`] instance holds all telemetry of a process (the
+//! global one lives behind [`crate::global`]). Every mutating entry
+//! point first checks the `enabled` flag with a relaxed atomic load and
+//! returns immediately when telemetry is off, so a disabled registry
+//! costs one predictable branch per call site.
+//!
+//! Metrics are keyed by dotted names (`"sim.monitor.samples"`). Maps
+//! are `BTreeMap`s so snapshots iterate in a deterministic order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use hpcpower_stats::Summary;
+
+use crate::snapshot::{HistogramSnapshot, Snapshot, SpanStats};
+
+/// Default histogram bucket upper bounds: half-decade exponential
+/// coverage from 1e-3 to 1e6 (units are the caller's — seconds,
+/// samples, jobs...). Values above the last bound land in an implicit
+/// overflow bucket.
+pub const DEFAULT_BUCKETS: [f64; 19] = [
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1_000.0, 5_000.0,
+    10_000.0, 50_000.0, 100_000.0, 500_000.0, 1_000_000.0,
+];
+
+/// A fixed-bucket histogram with Welford moment statistics.
+///
+/// Bucket `i` counts values `v <= bounds[i]` (first matching bound);
+/// values above every bound are counted in the overflow bucket. The
+/// attached [`Summary`] provides exact mean/min/max/std-dev regardless
+/// of bucket resolution.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    summary: Summary,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing upper
+    /// bounds (one overflow bucket is added implicitly).
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            summary: Summary::new(),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.summary.push(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The exact moment statistics of everything recorded.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    pub(crate) fn to_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.summary.count(),
+            mean: if self.summary.is_empty() { 0.0 } else { self.summary.mean() },
+            min: if self.summary.is_empty() { 0.0 } else { self.summary.min() },
+            max: if self.summary.is_empty() { 0.0 } else { self.summary.max() },
+            buckets: self
+                .bounds
+                .iter()
+                .zip(&self.counts)
+                .map(|(b, c)| (*b, *c))
+                .collect(),
+            overflow: *self.counts.last().expect("overflow bucket exists"),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    parent: Option<String>,
+}
+
+/// A telemetry registry: all counters, gauges, histograms, and span
+/// aggregates of one scope (usually the whole process).
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<BTreeMap<String, SpanAgg>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Telemetry must never take the process down: a panic while a lock
+    // was held leaves valid (if partially updated) aggregates behind.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Registry {
+    /// Creates a registry with collection disabled.
+    pub fn new() -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether collection is enabled.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables collection.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` to the monotonic counter `name`.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut counters = lock(&self.counters);
+        match counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        lock(&self.gauges).insert(name.to_string(), value);
+    }
+
+    /// Records `value` into histogram `name` with [`DEFAULT_BUCKETS`].
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        self.histogram_record_with(name, &DEFAULT_BUCKETS, value);
+    }
+
+    /// Records `value` into histogram `name`, creating it with the
+    /// given bucket bounds if it does not exist yet (the bounds of an
+    /// existing histogram are kept).
+    pub fn histogram_record_with(&self, name: &str, bounds: &[f64], value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut hists = lock(&self.histograms);
+        match hists.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::new(bounds);
+                h.record(value);
+                hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Records many values into histogram `name` under one lock.
+    pub fn histogram_record_many(&self, name: &str, values: impl IntoIterator<Item = f64>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut hists = lock(&self.histograms);
+        let h = hists
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(&DEFAULT_BUCKETS));
+        for v in values {
+            h.record(v);
+        }
+    }
+
+    /// Folds one completed span observation into the per-name
+    /// aggregate. Called by [`crate::span::SpanGuard`] on drop; public
+    /// so alternative span sources (and tests) can feed a registry
+    /// directly.
+    pub fn record_span(&self, name: &str, parent: Option<&str>, nanos: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut spans = lock(&self.spans);
+        let agg = spans.entry(name.to_string()).or_default();
+        if agg.count == 0 {
+            agg.min_ns = nanos;
+            agg.max_ns = nanos;
+            // The parent observed first wins; span trees in this
+            // codebase are static, so first == always in practice.
+            agg.parent = parent.map(str::to_string);
+        } else {
+            agg.min_ns = agg.min_ns.min(nanos);
+            agg.max_ns = agg.max_ns.max(nanos);
+        }
+        agg.count += 1;
+        agg.total_ns += nanos;
+    }
+
+    /// Clears every metric (the enabled flag is left as is).
+    pub fn reset(&self) {
+        lock(&self.counters).clear();
+        lock(&self.gauges).clear();
+        lock(&self.histograms).clear();
+        lock(&self.spans).clear();
+    }
+
+    /// Takes a deterministic, name-sorted snapshot of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, h)| (k.clone(), h.to_snapshot()))
+                .collect(),
+            spans: lock(&self.spans)
+                .iter()
+                .map(|(k, a)| {
+                    (
+                        k.clone(),
+                        SpanStats {
+                            count: a.count,
+                            total_ns: a.total_ns,
+                            min_ns: a.min_ns,
+                            max_ns: a.max_ns,
+                            parent: a.parent.clone(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::new();
+        r.counter_add("c", 1);
+        r.gauge_set("g", 2.0);
+        r.histogram_record("h", 3.0);
+        r.record_span("s", None, 100);
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        r.counter_add("jobs", 10);
+        r.counter_add("jobs", 5);
+        r.gauge_set("depth", 3.0);
+        r.gauge_set("depth", 7.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("jobs"), Some(15));
+        assert_eq!(snap.gauge("depth"), Some(7.0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 2.0, 3.0, 50.0, 1e6] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.summary().min() - 0.5).abs() < 1e-12);
+        assert!((h.summary().max() - 1e6).abs() < 1e-12);
+        let snap = h.to_snapshot();
+        assert_eq!(snap.overflow, 1);
+        assert_eq!(snap.buckets.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn span_aggregation_folds_min_max_total() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        r.record_span("stage", None, 10);
+        r.record_span("stage", None, 30);
+        r.record_span("stage", None, 20);
+        let snap = r.snapshot();
+        let s = snap.span("stage").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 60);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 30);
+    }
+
+    #[test]
+    fn span_aggregation_is_thread_safe() {
+        let r = std::sync::Arc::new(Registry::new());
+        r.set_enabled(true);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.record_span("worker", None, 1);
+                        r.counter_add("ticks", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.span("worker").unwrap().count, 8000);
+        assert_eq!(snap.span("worker").unwrap().total_ns, 8000);
+        assert_eq!(snap.counter("ticks"), Some(8000));
+    }
+
+    #[test]
+    fn reset_clears_all_metrics() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        r.counter_add("c", 1);
+        r.record_span("s", None, 5);
+        r.reset();
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
+        assert!(r.is_enabled(), "reset must not flip the enabled flag");
+    }
+}

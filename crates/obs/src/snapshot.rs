@@ -1,0 +1,415 @@
+//! Point-in-time, deterministic views of a [`crate::Registry`].
+//!
+//! A [`Snapshot`] owns plain sorted vectors — safe to hold across
+//! further recording, cheap to render. Rendering lives here
+//! (text table, JSON-lines, single JSON document); the runtime format
+//! choice is in [`crate::sink`].
+
+use std::fmt::Write as _;
+
+/// Aggregated observations of one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest observation, nanoseconds.
+    pub min_ns: u64,
+    /// Longest observation, nanoseconds.
+    pub max_ns: u64,
+    /// Name of the span enclosing the first observation, if any.
+    pub parent: Option<String>,
+}
+
+impl SpanStats {
+    /// Total wall time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Mean observation in seconds.
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_secs() / self.count as f64
+        }
+    }
+}
+
+/// Frozen view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact mean (Welford, not bucket-approximated).
+    pub mean: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// `(upper_bound, count)` per bucket, in bound order.
+    pub buckets: Vec<(f64, u64)>,
+    /// Values above the last bound.
+    pub overflow: u64,
+}
+
+/// A deterministic (name-sorted) copy of every metric in a registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotonic counters.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins gauges.
+    pub gauges: Vec<(String, f64)>,
+    /// Fixed-bucket histograms.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Span aggregates.
+    pub spans: Vec<(String, SpanStats)>,
+}
+
+fn find<'a, T>(items: &'a [(String, T)], name: &str) -> Option<&'a T> {
+    items
+        .binary_search_by(|(k, _)| k.as_str().cmp(name))
+        .ok()
+        .map(|i| &items[i].1)
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes an f64 as a valid JSON number (non-finite values become 0,
+/// which keeps consumers simple — telemetry never legitimately
+/// produces them).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn human_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else {
+        format!("{:.1}us", secs * 1e6)
+    }
+}
+
+impl Snapshot {
+    /// Value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        find(&self.counters, name).copied()
+    }
+
+    /// Value of a gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        find(&self.gauges, name).copied()
+    }
+
+    /// A histogram's frozen view, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        find(&self.histograms, name)
+    }
+
+    /// A span's aggregate, if present.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        find(&self.spans, name)
+    }
+
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Renders a human-readable text table (the `--log-format text`
+    /// sink).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("telemetry: no metrics recorded\n");
+            return out;
+        }
+        let name_w = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .chain(self.spans.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "spans ({:>w$} count    total     mean      max)", "", w = name_w.saturating_sub(5));
+            for (name, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {name:<name_w$} {:>5} {:>9} {:>9} {:>9}",
+                    s.count,
+                    human_duration(s.total_secs()),
+                    human_duration(s.mean_secs()),
+                    human_duration(s.max_ns as f64 / 1e9),
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<name_w$} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<name_w$} {v:.4}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms (count / mean / min / max):");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<name_w$} {} / {:.3} / {:.3} / {:.3}",
+                    h.count, h.mean, h.min, h.max
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders JSON-lines: one self-describing object per metric (the
+    /// `--log-format json` sink).
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+                escape_json(name)
+            );
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                escape_json(name),
+                json_f64(*v)
+            );
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"histogram\",\"name\":\"{}\",{}}}",
+                escape_json(name),
+                histogram_fields(h)
+            );
+        }
+        for (name, s) in &self.spans {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"name\":\"{}\",{}}}",
+                escape_json(name),
+                span_fields(s)
+            );
+        }
+        out
+    }
+
+    /// Renders the whole snapshot as one JSON document (the
+    /// `--metrics-out` file format):
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"sim.monitor.samples": 123, ...},
+    ///   "gauges":   {"sim.monitor.budget_used_frac": 0.42, ...},
+    ///   "histograms": {"name": {"count": 3, "mean": ..., "buckets": [...]}},
+    ///   "spans":    {"simulate": {"count": 1, "total_ns": ..., ...}}
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", escape_json(name));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {}", escape_json(name), json_f64(*v));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{{}}}",
+                escape_json(name),
+                histogram_fields(h)
+            );
+        }
+        out.push_str("\n  },\n  \"spans\": {");
+        for (i, (name, s)) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{{}}}",
+                escape_json(name),
+                span_fields(s)
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+fn span_fields(s: &SpanStats) -> String {
+    let parent = match &s.parent {
+        Some(p) => format!("\"{}\"", escape_json(p)),
+        None => "null".to_string(),
+    };
+    format!(
+        "\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"total_s\":{},\"parent\":{}",
+        s.count,
+        s.total_ns,
+        s.min_ns,
+        s.max_ns,
+        json_f64(s.total_secs()),
+        parent
+    )
+}
+
+fn histogram_fields(h: &HistogramSnapshot) -> String {
+    let mut buckets = String::from("[");
+    for (i, (bound, count)) in h.buckets.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(buckets, "{sep}{{\"le\":{},\"count\":{count}}}", json_f64(*bound));
+    }
+    buckets.push(']');
+    format!(
+        "\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"overflow\":{},\"buckets\":{}",
+        h.count,
+        json_f64(h.mean),
+        json_f64(h.min),
+        json_f64(h.max),
+        h.overflow,
+        buckets
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.set_enabled(true);
+        r.counter_add("b.counter", 7);
+        r.counter_add("a.counter", 3);
+        r.gauge_set("z.gauge", 0.5);
+        r.histogram_record_with("h.hist", &[1.0, 10.0], 4.0);
+        r.record_span("stage.one", None, 1_500_000);
+        r.record_span("stage.two", Some("stage.one"), 500_000);
+        r
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_queryable() {
+        let snap = sample_registry().snapshot();
+        assert_eq!(snap.counters[0].0, "a.counter");
+        assert_eq!(snap.counters[1].0, "b.counter");
+        assert_eq!(snap.counter("b.counter"), Some(7));
+        assert_eq!(snap.gauge("z.gauge"), Some(0.5));
+        assert_eq!(snap.histogram("h.hist").unwrap().count, 1);
+        let two = snap.span("stage.two").unwrap();
+        assert_eq!(two.parent.as_deref(), Some("stage.one"));
+        assert!((two.total_secs() - 0.0005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_metric() {
+        let text = sample_registry().snapshot().render_text();
+        for needle in ["a.counter", "z.gauge", "h.hist", "stage.one", "stage.two"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let snap = Registry::new().snapshot();
+        assert!(snap.is_empty());
+        assert!(snap.render_text().contains("no metrics"));
+        assert_eq!(snap.render_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_has_one_valid_object_per_line() {
+        let jsonl = sample_registry().snapshot().render_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 6, "2 counters + 1 gauge + 1 hist + 2 spans");
+        for line in lines {
+            let v: serde_json::Value = serde_json::parse(line).expect("valid JSON line");
+            let obj = v.as_object().expect("object");
+            assert!(obj.iter().any(|(k, _)| k == "type"));
+            assert!(obj.iter().any(|(k, _)| k == "name"));
+        }
+    }
+
+    #[test]
+    fn json_document_parses_and_round_trips_names() {
+        let doc = sample_registry().snapshot().to_json();
+        let v: serde_json::Value = serde_json::parse(&doc).expect("valid JSON document");
+        let obj = v.as_object().expect("top-level object");
+        let section = |key: &str| {
+            obj.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_object().expect("section object"))
+                .expect("section present")
+        };
+        assert_eq!(section("counters").len(), 2);
+        assert_eq!(section("gauges").len(), 1);
+        assert_eq!(section("histograms").len(), 1);
+        let spans = section("spans");
+        assert_eq!(spans.len(), 2);
+        let one = spans
+            .iter()
+            .find(|(k, _)| k == "stage.one")
+            .map(|(_, v)| v.as_object().unwrap())
+            .unwrap();
+        let total = one
+            .iter()
+            .find(|(k, _)| k == "total_ns")
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap();
+        assert_eq!(total, 1_500_000);
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

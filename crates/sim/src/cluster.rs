@@ -71,21 +71,28 @@ impl ClusterSim {
     }
 
     fn run_inner(&self) -> SimOutput {
+        let _run_span = hpcpower_obs::span!("simulate");
         let cfg = &self.cfg;
         let mut rng = SplitMix64::new(cfg.seed);
         let mut pop_rng = rng.fork(1);
         let mut arrival_rng = rng.fork(2);
         let job_key_base = rng.fork(3).next_u64();
 
-        let users = generate_population(&cfg.population, &self.catalog, cfg.arch, &mut pop_rng);
-        let requests = generate_arrivals(
-            &users,
-            &cfg.arrivals,
-            cfg.system.nodes,
-            cfg.horizon_min,
-            &mut arrival_rng,
-        );
-        let outcome = schedule(&requests, cfg.system.nodes);
+        let users = hpcpower_obs::time("simulate.population", || {
+            generate_population(&cfg.population, &self.catalog, cfg.arch, &mut pop_rng)
+        });
+        let requests = hpcpower_obs::time("simulate.arrivals", || {
+            generate_arrivals(
+                &users,
+                &cfg.arrivals,
+                cfg.system.nodes,
+                cfg.horizon_min,
+                &mut arrival_rng,
+            )
+        });
+        let outcome = hpcpower_obs::time("simulate.schedule", || {
+            schedule(&requests, cfg.system.nodes)
+        });
 
         // Keep jobs that started within the horizon (the trace window);
         // late queue drain belongs to the next accounting period.
@@ -100,6 +107,8 @@ impl ClusterSim {
         // mixes only the run seed and its *request* index, so the result
         // depends neither on scheduling order nor on which worker
         // resolves it.
+        let params_span = hpcpower_obs::span!("simulate.params");
+        let params_start = std::time::Instant::now();
         let job_params: Vec<JobPowerParams> = placed
             .par_iter()
             .map(|j| {
@@ -110,11 +119,25 @@ impl ClusterSim {
                 resolve_job_params(profile, template, cfg.system.node_tdp_w, key)
             })
             .collect();
+        if hpcpower_obs::enabled() {
+            let secs = params_start.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                hpcpower_obs::gauge_set(
+                    "sim.materialize.jobs_per_s",
+                    placed.len() as f64 / secs,
+                );
+            }
+            hpcpower_obs::counter_add("sim.jobs.placed", placed.len() as u64);
+            hpcpower_obs::counter_add("sim.jobs.rejected", outcome.rejected.len() as u64);
+        }
+        drop(params_span);
 
         let model = PowerModel::new(cfg.power, cfg.seed);
         let eligible: Vec<bool> = self.catalog.iter().map(|a| a.major).collect();
         let flags = select_instrumented(&placed, &eligible, &cfg.instrument);
-        let out = monitor(&model, &placed, &job_params, cfg.horizon_min, &flags);
+        let out = hpcpower_obs::time("simulate.monitor", || {
+            monitor(&model, &placed, &job_params, cfg.horizon_min, &flags)
+        });
 
         let jobs: Vec<JobRecord> = placed
             .iter()

@@ -67,8 +67,10 @@ pub fn select_instrumented(
     eligible_app: &[bool],
     cfg: &InstrumentConfig,
 ) -> Vec<bool> {
+    let telemetry = hpcpower_obs::enabled();
     let mut budget = cfg.sample_budget;
     let mut flags = vec![false; jobs.len()];
+    let mut kept_samples: Vec<f64> = Vec::new();
     for (i, job) in jobs.iter().enumerate() {
         let app = job.request.app as usize;
         if job.request.nodes < cfg.min_nodes
@@ -82,7 +84,20 @@ pub fn select_instrumented(
         if samples <= budget {
             budget -= samples;
             flags[i] = true;
+            if telemetry {
+                kept_samples.push(samples as f64);
+            }
         }
+    }
+    if telemetry {
+        hpcpower_obs::counter_add("sim.monitor.instrumented_jobs", kept_samples.len() as u64);
+        if cfg.sample_budget > 0 {
+            hpcpower_obs::gauge_set(
+                "sim.monitor.budget_used_frac",
+                (cfg.sample_budget - budget) as f64 / cfg.sample_budget as f64,
+            );
+        }
+        hpcpower_obs::histogram_record_many("sim.monitor.job_samples", kept_samples);
     }
     flags
 }
@@ -196,6 +211,8 @@ pub fn monitor(
     assert_eq!(jobs.len(), params.len(), "jobs/params must align");
     assert_eq!(jobs.len(), instrumented_flags.len());
     let horizon = horizon_min as usize;
+    let telemetry = hpcpower_obs::enabled();
+    let monitor_start = std::time::Instant::now();
 
     // One materialized job: its summary, optional instrumented series,
     // and the (minute, power, nodes) stream to fold into the system acc.
@@ -242,6 +259,18 @@ pub fn monitor(
                     acc.active[minute as usize] += nodes as u64;
                 }
             }
+        }
+    }
+
+    if telemetry {
+        let samples: u64 = jobs
+            .iter()
+            .map(|j| j.request.nodes as u64 * (j.end_min - j.start_min))
+            .sum();
+        hpcpower_obs::counter_add("sim.monitor.samples", samples);
+        let secs = monitor_start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            hpcpower_obs::gauge_set("sim.monitor.samples_per_s", samples as f64 / secs);
         }
     }
 
@@ -368,6 +397,65 @@ mod tests {
         };
         let flags = select_instrumented(&jobs, &[true], &cfg);
         assert_eq!(flags, vec![true, false]);
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let jobs = vec![job(0, 0, 100, 4, 0), job(1, 0, 100, 2, 0)];
+        let cfg = InstrumentConfig {
+            sample_budget: 0,
+            ..Default::default()
+        };
+        let flags = select_instrumented(&jobs, &[true], &cfg);
+        assert_eq!(flags, vec![false, false]);
+    }
+
+    #[test]
+    fn budget_below_smallest_job_selects_nothing() {
+        // Smallest eligible job needs 2 nodes * 100 min = 200 samples;
+        // a budget of 199 admits neither job, and later (larger) jobs
+        // must not be admitted either.
+        let jobs = vec![job(0, 0, 100, 2, 0), job(1, 0, 100, 4, 0)];
+        let cfg = InstrumentConfig {
+            sample_budget: 199,
+            ..Default::default()
+        };
+        let flags = select_instrumented(&jobs, &[true], &cfg);
+        assert_eq!(flags, vec![false, false]);
+    }
+
+    #[test]
+    fn budget_skips_big_job_but_admits_later_smaller_one() {
+        // The selector walks in input order and keeps any job that still
+        // fits: the 400-sample job is skipped, the later 200-sample job
+        // fits the 250-sample budget.
+        let jobs = vec![job(0, 0, 100, 4, 0), job(1, 0, 100, 2, 0)];
+        let cfg = InstrumentConfig {
+            sample_budget: 250,
+            ..Default::default()
+        };
+        let flags = select_instrumented(&jobs, &[true], &cfg);
+        assert_eq!(flags, vec![false, true]);
+    }
+
+    #[test]
+    fn window_excluding_all_jobs_selects_nothing() {
+        let jobs = vec![job(0, 10, 100, 4, 0), job(1, 50, 100, 4, 0)];
+        let cfg = InstrumentConfig {
+            start_min: 1_000,
+            end_min: 2_000,
+            ..Default::default()
+        };
+        let flags = select_instrumented(&jobs, &[true], &cfg);
+        assert_eq!(flags, vec![false, false]);
+        // An empty window (start == end) excludes everything too.
+        let cfg = InstrumentConfig {
+            start_min: 0,
+            end_min: 0,
+            ..Default::default()
+        };
+        let flags = select_instrumented(&jobs, &[true], &cfg);
+        assert_eq!(flags, vec![false, false]);
     }
 
     #[test]

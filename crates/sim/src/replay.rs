@@ -132,6 +132,7 @@ pub fn replay_swf(jobs: &[SwfJob], cfg: &ReplayConfig) -> TraceDataset {
 }
 
 fn replay_swf_inner(jobs: &[SwfJob], cfg: &ReplayConfig) -> TraceDataset {
+    let _span = hpcpower_obs::span!("replay");
     let catalog = standard_catalog();
     let (mut requests, user_count) = requests_from_swf(jobs);
     for req in &mut requests {

@@ -100,6 +100,14 @@ pub fn schedule_with_policy(
     let mut next_arrival = 0usize;
     let mut now: u64 = 0;
 
+    // Telemetry accumulates in locals and is published once at the end,
+    // so the event loop pays nothing beyond plain integer updates (and
+    // only when telemetry is on).
+    let telemetry = hpcpower_obs::enabled();
+    let mut backfill_hits: u64 = 0;
+    let mut max_queue_depth: usize = 0;
+    let mut queue_depths: Vec<f64> = Vec::new();
+
     // Starts one queued request at `t`.
     let start_job = |idx: usize,
                      t: u64,
@@ -157,6 +165,10 @@ pub fn schedule_with_policy(
             queue.push_back(next_arrival);
             next_arrival += 1;
         }
+        if telemetry {
+            max_queue_depth = max_queue_depth.max(queue.len());
+            queue_depths.push(queue.len() as f64);
+        }
 
         // FCFS + EASY backfill.
         while let Some(&head) = queue.front() {
@@ -213,6 +225,7 @@ pub fn schedule_with_policy(
                         if !ends_before_shadow {
                             extra -= req.nodes;
                         }
+                        backfill_hits += 1;
                         queue.remove(qi);
                         start_job(
                             idx,
@@ -230,6 +243,12 @@ pub fn schedule_with_policy(
             }
             break;
         }
+    }
+    if telemetry {
+        hpcpower_obs::counter_add("sim.sched.backfill_hits", backfill_hits);
+        hpcpower_obs::counter_add("sim.sched.rejected", rejected.len() as u64);
+        hpcpower_obs::gauge_set("sim.sched.max_queue_depth", max_queue_depth as f64);
+        hpcpower_obs::histogram_record_many("sim.sched.queue_depth", queue_depths);
     }
     ScheduleOutcome { jobs, rejected }
 }

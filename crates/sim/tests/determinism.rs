@@ -28,6 +28,48 @@ fn simulate_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// Observability must only *observe*: with telemetry enabled, the
+/// simulator emits byte-identical datasets at any thread count, while
+/// the registry fills with nonzero pipeline measurements.
+///
+/// The baseline runs before `enable()` and the test never calls
+/// `reset()`/`disable()`, so it composes safely with the other tests in
+/// this binary (which don't read the registry).
+#[test]
+fn telemetry_does_not_change_dataset_bytes() {
+    let baseline = dataset_json(1);
+    hpcpower_obs::enable();
+    for threads in [1, 4] {
+        assert_eq!(
+            baseline,
+            dataset_json(threads),
+            "telemetry changed dataset bytes at {threads} threads"
+        );
+    }
+    let snap = hpcpower_obs::snapshot();
+    let sim_span = snap.span("simulate").expect("simulate span recorded");
+    assert!(sim_span.total_ns > 0, "simulate span must have nonzero time");
+    assert_eq!(sim_span.count, 2, "one simulate span per enabled run");
+    for stage in [
+        "simulate.population",
+        "simulate.arrivals",
+        "simulate.schedule",
+        "simulate.params",
+        "simulate.monitor",
+    ] {
+        let s = snap.span(stage).unwrap_or_else(|| panic!("missing span {stage}"));
+        assert_eq!(s.parent.as_deref(), Some("simulate"), "{stage} parent");
+    }
+    assert!(snap.counter("sim.monitor.samples").unwrap_or(0) > 0);
+    assert!(snap.counter("sim.jobs.placed").unwrap_or(0) > 0);
+    assert!(
+        snap.counter("sim.sched.backfill_hits").is_some(),
+        "backfill counter must be present even if zero"
+    );
+    let depth = snap.histogram("sim.sched.queue_depth").expect("queue-depth histogram");
+    assert!(depth.count > 0);
+}
+
 #[test]
 fn replay_is_byte_identical_across_thread_counts() {
     let jobs: Vec<SwfJob> = (0..120u64)

@@ -94,19 +94,39 @@ impl Clone for DatasetIndex {
     }
 }
 
+/// Memoized access with telemetry: counts a `trace.index.hits` when the
+/// cache is already populated and a `trace.index.builds` (timed under
+/// the `trace.index.build` span) when this call constructs it. With
+/// telemetry disabled this is exactly `get_or_init`.
+fn memo<T>(cell: &OnceLock<T>, build: impl FnOnce() -> T) -> &T {
+    if !hpcpower_obs::enabled() {
+        return cell.get_or_init(build);
+    }
+    if let Some(v) = cell.get() {
+        hpcpower_obs::counter_add("trace.index.hits", 1);
+        return v;
+    }
+    cell.get_or_init(|| {
+        hpcpower_obs::counter_add("trace.index.builds", 1);
+        hpcpower_obs::time("trace.index.build", build)
+    })
+}
+
 impl DatasetIndex {
     pub(crate) fn per_node_powers<'a>(&'a self, d: &TraceDataset) -> &'a [f64] {
-        self.per_node_powers
-            .get_or_init(|| d.summaries.iter().map(|s| s.per_node_power_w).collect())
+        memo::<Vec<f64>>(&self.per_node_powers, || {
+            d.summaries.iter().map(|s| s.per_node_power_w).collect()
+        })
     }
 
     pub(crate) fn sorted_powers<'a>(&'a self, d: &TraceDataset) -> &'a [f64] {
-        self.sorted_powers
-            .get_or_init(|| quantile::sorted_clean(self.per_node_powers(d)))
+        memo::<Vec<f64>>(&self.sorted_powers, || {
+            quantile::sorted_clean(self.per_node_powers(d))
+        })
     }
 
     pub(crate) fn by_user<'a>(&'a self, d: &TraceDataset) -> &'a [(UserId, Vec<JobId>)] {
-        self.by_user.get_or_init(|| {
+        memo::<Vec<(UserId, Vec<JobId>)>>(&self.by_user, || {
             let mut map: std::collections::HashMap<UserId, Vec<JobId>> =
                 std::collections::HashMap::new();
             for j in &d.jobs {
@@ -119,7 +139,7 @@ impl DatasetIndex {
     }
 
     pub(crate) fn by_app<'a>(&'a self, d: &TraceDataset) -> &'a [(AppId, Vec<JobId>)] {
-        self.by_app.get_or_init(|| {
+        memo::<Vec<(AppId, Vec<JobId>)>>(&self.by_app, || {
             let mut map: std::collections::HashMap<AppId, Vec<JobId>> =
                 std::collections::HashMap::new();
             for j in &d.jobs {
@@ -132,7 +152,7 @@ impl DatasetIndex {
     }
 
     pub(crate) fn user_rollups<'a>(&'a self, d: &TraceDataset) -> &'a [UserRollup] {
-        self.user_rollups.get_or_init(|| {
+        memo::<Vec<UserRollup>>(&self.user_rollups, || {
             self.by_user(d)
                 .iter()
                 .map(|(user, ids)| {
@@ -164,7 +184,7 @@ impl DatasetIndex {
     }
 
     pub(crate) fn app_rollups<'a>(&'a self, d: &TraceDataset) -> &'a [AppRollup] {
-        self.app_rollups.get_or_init(|| {
+        memo::<Vec<AppRollup>>(&self.app_rollups, || {
             self.by_app(d)
                 .iter()
                 .map(|(app, ids)| {
@@ -183,21 +203,21 @@ impl DatasetIndex {
     }
 
     pub(crate) fn median_runtime(&self, d: &TraceDataset) -> Option<f64> {
-        *self.median_runtime.get_or_init(|| {
+        *memo(&self.median_runtime, || {
             let runtimes: Vec<f64> = d.jobs.iter().map(|j| j.runtime_min() as f64).collect();
             quantile::median(&runtimes).ok()
         })
     }
 
     pub(crate) fn median_nodes(&self, d: &TraceDataset) -> Option<f64> {
-        *self.median_nodes.get_or_init(|| {
+        *memo(&self.median_nodes, || {
             let sizes: Vec<f64> = d.jobs.iter().map(|j| j.nodes as f64).collect();
             quantile::median(&sizes).ok()
         })
     }
 
     pub(crate) fn duration_min(&self, d: &TraceDataset) -> u64 {
-        *self.duration_min.get_or_init(|| {
+        *memo(&self.duration_min, || {
             d.system_series
                 .last()
                 .map(|s| s.minute + 1)

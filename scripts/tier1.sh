@@ -1,10 +1,37 @@
 #!/usr/bin/env sh
-# Tier-1 gate: build, test, lint — fully offline, workspace-local shims.
-# Run from the repo root: ./scripts/tier1.sh
+# Tier-1 gate: build, test, lint, observability smoke — fully offline,
+# workspace-local shims. Run from the repo root: ./scripts/tier1.sh
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Observability smoke: a real CLI run with --metrics-out must emit a
+# parseable metrics document containing the required span timings and
+# counters.
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/hpcpower simulate --system emmy --seed 3 \
+    --nodes 24 --days 2 --users 10 --quiet \
+    --out "$SMOKE_DIR/trace" --metrics-out "$SMOKE_DIR/metrics.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SMOKE_DIR/metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+assert m["spans"]["simulate"]["total_ns"] > 0, "simulate span missing/zero"
+for counter in ("sim.monitor.samples", "sim.jobs.placed", "sim.sched.backfill_hits"):
+    assert counter in m["counters"], f"missing counter {counter}"
+assert m["counters"]["sim.monitor.samples"] > 0, "no monitor samples recorded"
+print("obs smoke: metrics JSON valid")
+EOF
+else
+    # Fallback without python3: structural greps on the document.
+    grep -q '"simulate"' "$SMOKE_DIR/metrics.json"
+    grep -q '"sim.monitor.samples"' "$SMOKE_DIR/metrics.json"
+    grep -q '"sim.sched.backfill_hits"' "$SMOKE_DIR/metrics.json"
+    echo "obs smoke: metrics JSON contains required keys (python3 unavailable)"
+fi
 echo "tier1: OK"

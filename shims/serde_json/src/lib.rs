@@ -3,7 +3,7 @@
 //! workspace uses: `to_string`, `to_string_pretty`, `to_writer`,
 //! `from_str`, `from_reader`, plus the [`Value`]/[`Error`] types.
 
-pub use serde::json::{Error, Value};
+pub use serde::json::{find, parse, Error, Value};
 
 /// Serializes a value to compact JSON.
 pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
