@@ -20,8 +20,10 @@ use args::Args;
 use hpcpower::prediction::{self, PredictionConfig};
 use hpcpower::report;
 use hpcpower_ml::{DecisionTree, Regressor, TreeConfig};
-use hpcpower_sim::{simulate, with_threads, SimConfig};
-use hpcpower_trace::{csv, json, swf, validate, TraceDataset};
+use hpcpower_sim::{with_threads, ClusterSim, FaultConfig, SimConfig};
+use hpcpower_trace::csv::ParseOptions;
+use hpcpower_trace::repair::{repair, RepairConfig, RepairPolicy};
+use hpcpower_trace::{csv, json, swf, validate, SystemSpec, TraceDataset};
 
 const HELP: &str = "\
 hpcpower — HPC job power characterization & prediction
@@ -48,10 +50,28 @@ COMMANDS:
              --nodes N --days D --users U   scale the preset down
              --out DIR              (default ./trace-<system>)
              --swf                  also export Standard Workload Format
+             --faults R             inject monitoring faults at rate R
+                                    (0..1; dirty output skips validation)
+  ingest     Parse raw jobs/system CSVs, repair them, report data quality
+             --jobs PATH            jobs.csv (required)
+             --system PATH          system.csv (optional)
+             --spec emmy|meggie     hardware spec (default emmy)
+             --nodes N              scale the spec to N nodes
+             --strict | --lenient   fail fast vs quarantine bad rows
+                                    (default strict)
+             --error-budget N       max quarantined rows in lenient mode
+                                    (default 1000; exceeding it exits 2)
+             --repair-policy P      drop-job|hold-last|linear
+                                    (default drop-job, as in the paper)
+             --out DIR              write repaired dataset.json + quality
+             --json                 print the data-quality report as JSON
   analyze    Run every analysis of the paper on a dataset
              --data PATH            dataset.json (from `simulate`)
              --splits N             prediction splits (default 5)
              --json                 emit machine-readable figure data
+             --repair-policy P      repair the dataset before analysis
+                                    (drop-job|hold-last|linear) and add a
+                                    data-quality section to the report
   compare    Two-system report including the Fig. 4 app comparison
              --a PATH --b PATH
   predict    Train the BDT on a dataset and predict one submission
@@ -91,6 +111,13 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         cfg = cfg.scaled_down(nodes, days * 1440, users);
     }
     cfg.threads = args.get_or("threads", 0)?;
+    let fault_rate: f64 = args.get_or("faults", 0.0)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(format!("--faults {fault_rate} out of range (0..1)"));
+    }
+    if fault_rate > 0.0 {
+        cfg.faults = FaultConfig::at_rate(fault_rate);
+    }
     let out: PathBuf = args
         .get("out")
         .map(PathBuf::from)
@@ -103,8 +130,25 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             cfg.horizon_min / 1440
         );
     }
-    let dataset = simulate(cfg);
-    validate::validate(&dataset).map_err(|e| e.to_string())?;
+    let sim_out = ClusterSim::new(cfg).run();
+    let dataset = sim_out.dataset;
+    match &sim_out.faults {
+        // A faulted trace is deliberately dirty; `ingest` repairs it.
+        Some(f) => println!(
+            "faults injected: {} total ({} crashes, {} samples dropped, \
+             {} spikes, {} stuck rows, {} system samples dropped, \
+             {} duplicated, {} swapped)",
+            f.total(),
+            f.crashes,
+            f.samples_dropped + f.outage_samples,
+            f.spikes,
+            f.stuck_rows,
+            f.system_samples_dropped,
+            f.duplicated_rows,
+            f.swapped_rows
+        ),
+        None => validate::validate(&dataset).map_err(|e| e.to_string())?,
+    }
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
     {
         let mut jobs = BufWriter::new(
@@ -137,20 +181,126 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let path = args.get("data").ok_or("missing --data PATH")?;
     let splits: usize = args.get_or("splits", 5)?;
-    let dataset = load(path);
+    // With --repair-policy the dataset may be dirty: load it without the
+    // up-front validation, repair it, and only then insist on validity.
+    let (dataset, quality) = match args.get("repair-policy") {
+        Some(p) => {
+            let policy: RepairPolicy = p.parse()?;
+            let mut dataset = json::load_dataset(Path::new(path))
+                .map_err(|e| format!("cannot load {path}: {e}"))?;
+            let quality = repair(&mut dataset, &RepairConfig::with_policy(policy));
+            validate::validate(&dataset)
+                .map_err(|e| format!("{path} is invalid even after repair: {e}"))?;
+            (dataset, Some(quality))
+        }
+        None => (load(path), None),
+    };
     let cfg = PredictionConfig {
         n_splits: splits,
         ..Default::default()
     };
     let threads: usize = args.get_or("threads", 0)?;
     if args.has("json") {
-        let full = with_threads(threads, || hpcpower::json_report::build(&dataset, &cfg));
+        let full = with_threads(threads, || {
+            hpcpower::json_report::build_with(&dataset, &cfg, quality.clone())
+        });
         let text = serde_json::to_string_pretty(&full).map_err(|e| e.to_string())?;
         println!("{text}");
     } else {
         print!(
             "{}",
-            with_threads(threads, || report::render_full(&dataset, &cfg))
+            with_threads(threads, || report::render_full_with(
+                &dataset,
+                &cfg,
+                quality.as_ref()
+            ))
+        );
+    }
+    Ok(())
+}
+
+fn cmd_ingest(args: &Args) -> Result<(), String> {
+    let jobs_path = args.get("jobs").ok_or("missing --jobs PATH")?;
+    if args.has("strict") && args.has("lenient") {
+        return Err("--strict and --lenient are mutually exclusive".into());
+    }
+    let budget: usize = args.get_or("error-budget", 1000)?;
+    let opts = if args.has("lenient") {
+        ParseOptions::lenient(budget)
+    } else {
+        ParseOptions::strict()
+    };
+    let policy: RepairPolicy = match args.get("repair-policy") {
+        Some(p) => p.parse()?,
+        None => RepairPolicy::default(),
+    };
+    let mut spec = match args.get("spec").unwrap_or("emmy") {
+        "emmy" => SystemSpec::emmy(),
+        "meggie" => SystemSpec::meggie(),
+        other => return Err(format!("unknown spec {other:?} (emmy|meggie)")),
+    };
+    if args.has("nodes") {
+        spec = spec.scaled(args.get_or("nodes", spec.nodes)?);
+    }
+
+    // Parse. In lenient mode malformed rows are quarantined up to the
+    // error budget; exceeding it (or any strict-mode error) exits
+    // non-zero with the line/column of the offending row.
+    let file = File::open(jobs_path).map_err(|e| format!("cannot open {jobs_path}: {e}"))?;
+    let jobs_table = csv::read_jobs_with(BufReader::new(file), opts)
+        .map_err(|e| format!("{jobs_path}: {e}"))?;
+    let mut quarantined = jobs_table.quarantined;
+    let system_series = match args.get("system") {
+        Some(sys_path) => {
+            let file =
+                File::open(sys_path).map_err(|e| format!("cannot open {sys_path}: {e}"))?;
+            let table = csv::read_system_with(BufReader::new(file), opts)
+                .map_err(|e| format!("{sys_path}: {e}"))?;
+            quarantined.extend(table.quarantined);
+            table.samples
+        }
+        None => Vec::new(),
+    };
+    for row in &quarantined {
+        eprintln!("quarantined line {}: {}", row.line, row.message);
+    }
+
+    // Repair: user/app namespaces and anything out of range are
+    // reconstructed; missing values follow the chosen policy.
+    let mut dataset = TraceDataset {
+        system: spec,
+        jobs: jobs_table.jobs,
+        summaries: jobs_table.summaries,
+        system_series,
+        instrumented: Vec::new(),
+        app_names: Vec::new(),
+        user_count: 0,
+        index: Default::default(),
+    };
+    let mut repair_cfg = RepairConfig::with_policy(policy);
+    repair_cfg.rows_quarantined = quarantined.len() as u64;
+    let quality = repair(&mut dataset, &repair_cfg);
+    validate::validate(&dataset)
+        .map_err(|e| format!("dataset is invalid even after repair: {e}"))?;
+
+    if let Some(out) = args.get("out") {
+        let out = PathBuf::from(out);
+        std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+        json::save_dataset(&out.join("dataset.json"), &dataset).map_err(|e| e.to_string())?;
+        let quality_json =
+            serde_json::to_string_pretty(&quality).map_err(|e| e.to_string())?;
+        std::fs::write(out.join("quality.json"), quality_json).map_err(|e| e.to_string())?;
+    }
+    if args.has("json") {
+        let text = serde_json::to_string_pretty(&quality).map_err(|e| e.to_string())?;
+        println!("{text}");
+    } else {
+        print!("{}", report::render_data_quality(&quality));
+        println!(
+            "{}: {} jobs ingested ({} repaired records)",
+            dataset.system.name,
+            dataset.len(),
+            quality.rows_repaired()
         );
     }
     Ok(())
@@ -267,6 +417,7 @@ fn main() {
     // the top-level timing ("analyze", "simulate", ...) is included.
     let result = match args.command.as_deref() {
         Some("simulate") => hpcpower_obs::time("simulate.cmd", || cmd_simulate(&args)),
+        Some("ingest") => hpcpower_obs::time("ingest", || cmd_ingest(&args)),
         Some("analyze") => hpcpower_obs::time("analyze", || cmd_analyze(&args)),
         Some("compare") => hpcpower_obs::time("compare", || cmd_compare(&args)),
         Some("predict") => hpcpower_obs::time("predict", || cmd_predict(&args)),

@@ -7,6 +7,7 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use hpcpower_trace::repair::DataQualityReport;
 use hpcpower_trace::TraceDataset;
 
 use crate::prediction::PredictionConfig;
@@ -51,6 +52,10 @@ pub struct FullReport {
     pub powercap: Option<powercap::PowerCapAnalysis>,
     /// Pricing extension.
     pub pricing: Option<pricing::PricingAnalysis>,
+    /// Ingestion/repair data-quality summary (`None` for clean traces
+    /// analyzed without the repair layer).
+    #[serde(default)]
+    pub data_quality: Option<DataQualityReport>,
 }
 
 /// One analysis result, tagged so the parallel fan-out below can hand
@@ -81,6 +86,17 @@ enum Part {
 /// rayon pool; each writes a fixed field of the report, so the result
 /// is identical to the serial version.
 pub fn build(dataset: &TraceDataset, cfg: &PredictionConfig) -> FullReport {
+    build_with(dataset, cfg, None)
+}
+
+/// [`build`] plus an optional data-quality section recording how the
+/// trace was repaired before analysis. With `data_quality: None` the
+/// report is identical to [`build`]'s.
+pub fn build_with(
+    dataset: &TraceDataset,
+    cfg: &PredictionConfig,
+    data_quality: Option<DataQualityReport>,
+) -> FullReport {
     let _span = hpcpower_obs::span!("report.json");
     let d = dataset;
     // Each task carries the span name its timing aggregates under
@@ -184,6 +200,7 @@ pub fn build(dataset: &TraceDataset, cfg: &PredictionConfig) -> FullReport {
         prediction,
         powercap,
         pricing,
+        data_quality,
     }
 }
 
@@ -211,6 +228,29 @@ mod tests {
             back.power_pdf.as_ref().unwrap().mean_w,
             report.power_pdf.as_ref().unwrap().mean_w
         );
+    }
+
+    #[test]
+    fn data_quality_section_is_optional_and_round_trips() {
+        let dataset = hpcpower_sim::simulate(SimConfig::emmy_small(2));
+        let cfg = PredictionConfig {
+            n_splits: 2,
+            ..Default::default()
+        };
+        let clean = build(&dataset, &cfg);
+        assert!(clean.data_quality.is_none(), "clean path stays untouched");
+
+        let quality = DataQualityReport {
+            jobs_total: dataset.len() as u64,
+            rows_quarantined: 3,
+            ..Default::default()
+        };
+        let report = build_with(&dataset, &cfg, Some(quality.clone()));
+        assert_eq!(report.data_quality.as_ref(), Some(&quality));
+        let json = serde_json::to_string(&report).expect("serializes");
+        assert!(json.contains("\"rows_quarantined\""));
+        let back: FullReport = serde_json::from_str(&json).expect("round trips");
+        assert_eq!(back.data_quality, Some(quality));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use std::fmt::Write as _;
 
+use hpcpower_trace::repair::DataQualityReport;
 use hpcpower_trace::TraceDataset;
 use rayon::prelude::*;
 
@@ -388,6 +389,71 @@ pub fn render_pricing(d: &TraceDataset) -> String {
     out
 }
 
+/// Renders the data-quality section produced by the trace repair layer.
+///
+/// Deterministic: the section is a pure function of the
+/// [`DataQualityReport`] — two runs over the same dirty trace render
+/// identical bytes.
+pub fn render_data_quality(q: &DataQualityReport) -> String {
+    let mut out = String::new();
+    writeln!(out, "## Data quality — ingestion & repair summary").unwrap();
+    writeln!(
+        out,
+        "  repair policy       : {} (paper drops jobs with incomplete power records)",
+        q.policy
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  jobs                : {} kept of {} ({} dropped)",
+        q.jobs_total - q.jobs_dropped,
+        q.jobs_total,
+        q.jobs_dropped
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  quarantined rows    : {} (malformed input held back by the lenient parser)",
+        q.rows_quarantined
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  accounting fixes    : {} | summary clips: {} | summary imputations: {}",
+        q.records_repaired, q.summaries_clipped, q.summaries_imputed
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  system series       : {} out-of-order, {} duplicates, {} clipped, {} imputed",
+        q.system_out_of_order, q.system_duplicates, q.system_clipped, q.system_imputed
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  series coverage     : {:.1}% of minutes ({} gap minutes, {} filled)",
+        q.coverage_pct, q.system_gap_minutes, q.system_gaps_imputed
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  instrumented series : {} kept of {} ({} truncated, {} samples imputed, {} clipped)",
+        q.series_total - q.series_dropped.min(q.series_total),
+        q.series_total,
+        q.series_truncated,
+        q.series_samples_imputed,
+        q.series_samples_clipped
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  validation          : {} violation(s) before repair, {} after",
+        q.violations_before, q.violations_after
+    )
+    .unwrap();
+    out
+}
+
 /// Full single-system report, every section in paper order.
 ///
 /// The sections are independent analyses, so they render in parallel on
@@ -397,6 +463,19 @@ pub fn render_pricing(d: &TraceDataset) -> String {
 /// memoized [`hpcpower_trace::DatasetIndex`], whose `OnceLock` caches
 /// are computed exactly once no matter which section asks first.
 pub fn render_full(d: &TraceDataset, cfg: &PredictionConfig) -> String {
+    render_full_with(d, cfg, None)
+}
+
+/// [`render_full`] plus an optional data-quality section describing how
+/// the trace was repaired before analysis.
+///
+/// With `quality: None` the output is byte-identical to [`render_full`],
+/// so enabling the repair layer never perturbs clean-path reports.
+pub fn render_full_with(
+    d: &TraceDataset,
+    cfg: &PredictionConfig,
+    quality: Option<&DataQualityReport>,
+) -> String {
     let _span = hpcpower_obs::span!("report.render");
     let mut out = String::new();
     writeln!(
@@ -408,6 +487,9 @@ pub fn render_full(d: &TraceDataset, cfg: &PredictionConfig) -> String {
         d.system.nodes
     )
     .unwrap();
+    if let Some(q) = quality {
+        out.push_str(&render_data_quality(q));
+    }
     // Each section times itself under a `report.section.*` span; the
     // spans run on whichever rayon worker picks the section up and fold
     // into the global registry, never into the rendered bytes.
@@ -478,6 +560,36 @@ mod tests {
         ] {
             assert!(report.contains(needle), "missing section {needle}:\n{report}");
         }
+    }
+
+    #[test]
+    fn data_quality_section_only_renders_when_requested() {
+        let d = hpcpower_sim::simulate(SimConfig::emmy_small(3));
+        let cfg = PredictionConfig {
+            n_splits: 2,
+            ..Default::default()
+        };
+        let clean = render_full(&d, &cfg);
+        assert_eq!(
+            clean,
+            render_full_with(&d, &cfg, None),
+            "None must be byte-identical to render_full"
+        );
+        assert!(!clean.contains("Data quality"));
+
+        let quality = DataQualityReport {
+            jobs_total: d.len() as u64,
+            jobs_dropped: 2,
+            rows_quarantined: 5,
+            coverage_pct: 98.5,
+            violations_before: 9,
+            ..Default::default()
+        };
+        let dirty = render_full_with(&d, &cfg, Some(&quality));
+        assert!(dirty.contains("## Data quality"));
+        assert!(dirty.contains("repair policy       : drop-job"));
+        assert!(dirty.contains("quarantined rows    : 5"));
+        assert!(dirty.contains("9 violation(s) before repair, 0 after"));
     }
 
     #[test]

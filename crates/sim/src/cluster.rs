@@ -8,6 +8,7 @@ use rayon::prelude::*;
 
 use crate::apps::{standard_catalog, AppClass};
 use crate::config::SimConfig;
+use crate::faults::{inject_faults, FaultSummary};
 use crate::monitor::{monitor, select_instrumented};
 use crate::pool::with_threads;
 use crate::power::{resolve_job_params, JobPowerParams, PowerModel};
@@ -36,6 +37,8 @@ pub struct SimOutput {
     pub job_params: Vec<JobPowerParams>,
     /// Requests that could never be placed (larger than the machine).
     pub rejected_jobs: usize,
+    /// Counts of injected faults (`None` when fault injection is off).
+    pub faults: Option<FaultSummary>,
 }
 
 impl ClusterSim {
@@ -154,7 +157,7 @@ impl ClusterSim {
             })
             .collect();
 
-        let dataset = TraceDataset {
+        let mut dataset = TraceDataset {
             system: cfg.system.clone(),
             jobs,
             summaries: out.summaries,
@@ -164,11 +167,18 @@ impl ClusterSim {
             user_count: cfg.population.n_users as u32,
             index: Default::default(),
         };
+        // Fault injection runs serially on the finished dataset, so it
+        // preserves the any-thread-count determinism of the pipeline.
+        let faults = cfg
+            .faults
+            .is_active()
+            .then(|| inject_faults(&mut dataset, &cfg.faults, cfg.seed));
         SimOutput {
             dataset,
             users,
             job_params,
             rejected_jobs: outcome.rejected.len(),
+            faults,
         }
     }
 }

@@ -10,6 +10,7 @@ use hpcpower_trace::SystemSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::apps::Arch;
+use crate::faults::FaultConfig;
 use crate::monitor::InstrumentConfig;
 use crate::power::PowerModelConfig;
 use crate::users::PopulationConfig;
@@ -41,6 +42,9 @@ pub struct SimConfig {
     /// Output is bit-identical regardless of this value.
     #[serde(default)]
     pub threads: usize,
+    /// Fault-injection rates (all-zero default = clean telemetry).
+    #[serde(default)]
+    pub faults: FaultConfig,
 }
 
 /// Job-count application weights on Emmy (aligned with
@@ -101,6 +105,7 @@ impl SimConfig {
                 sample_budget: 6_000_000,
             },
             threads: 0,
+            faults: FaultConfig::default(),
             system,
         }
     }
@@ -149,6 +154,7 @@ impl SimConfig {
                 sample_budget: 6_000_000,
             },
             threads: 0,
+            faults: FaultConfig::default(),
             system,
         }
     }

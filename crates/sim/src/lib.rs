@@ -32,6 +32,7 @@
 pub mod apps;
 pub mod cluster;
 pub mod config;
+pub mod faults;
 pub mod monitor;
 pub mod pool;
 pub mod power;
@@ -44,6 +45,7 @@ pub mod workload;
 pub use apps::{standard_catalog, AppClass, Arch};
 pub use cluster::{simulate, ClusterSim, SimOutput};
 pub use config::SimConfig;
+pub use faults::{inject_faults, FaultConfig, FaultSummary};
 pub use monitor::MonitorOutput;
 pub use pool::with_threads;
 pub use power::{JobPowerParams, PowerModel};

@@ -9,6 +9,19 @@
 //! numeric, so a CSV dependency would be overkill) and stream through
 //! `BufRead`/`Write` so multi-hundred-MB traces do not need to fit in a
 //! string.
+//!
+//! ## Strict vs. lenient ingestion
+//!
+//! Production telemetry is messy: truncated rows, non-numeric cells,
+//! duplicated job ids. Every reader therefore exists in two modes
+//! ([`ParseMode`]):
+//!
+//! * **Strict** (the default, and the historical behaviour): fail fast
+//!   on the first malformed row with a precise line/column diagnostic.
+//! * **Lenient**: recover and continue. Malformed rows are quarantined
+//!   (with their line number, offending column, and raw text) instead of
+//!   aborting the parse, up to a configurable *error budget*; exceeding
+//!   the budget aborts with [`TraceError::ErrorBudgetExceeded`].
 
 use std::io::{BufRead, Write};
 
@@ -16,6 +29,156 @@ use crate::dataset::SystemSample;
 use crate::ids::{AppId, JobId, UserId};
 use crate::job::{JobPowerSummary, JobRecord};
 use crate::{Result, TraceError};
+
+/// How a reader reacts to malformed rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseMode {
+    /// Fail fast on the first malformed row (historical behaviour).
+    #[default]
+    Strict,
+    /// Quarantine malformed rows and continue, within the error budget.
+    Lenient,
+}
+
+/// Options shared by all CSV/SWF readers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParseOptions {
+    /// Strict or lenient error handling.
+    pub mode: ParseMode,
+    /// Maximum number of quarantined rows tolerated in lenient mode
+    /// before the parse aborts with
+    /// [`TraceError::ErrorBudgetExceeded`]. Ignored in strict mode.
+    pub error_budget: usize,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        Self {
+            mode: ParseMode::Strict,
+            error_budget: 1_000,
+        }
+    }
+}
+
+impl ParseOptions {
+    /// Strict options (fail fast).
+    pub fn strict() -> Self {
+        Self {
+            mode: ParseMode::Strict,
+            ..Self::default()
+        }
+    }
+
+    /// Lenient options with the given error budget.
+    pub fn lenient(error_budget: usize) -> Self {
+        Self {
+            mode: ParseMode::Lenient,
+            error_budget,
+        }
+    }
+}
+
+/// One row a lenient parse refused, kept for the data-quality report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// 1-based line number within the file.
+    pub line: usize,
+    /// 1-based field index of the offending cell, when known.
+    pub column: Option<usize>,
+    /// What was wrong.
+    pub message: String,
+    /// The raw row text (truncated to 200 bytes).
+    pub raw: String,
+}
+
+impl QuarantinedRow {
+    fn new(line: usize, column: Option<usize>, message: String, raw: &str) -> Self {
+        let mut raw = raw.to_string();
+        if raw.len() > 200 {
+            raw.truncate(200);
+        }
+        Self {
+            line,
+            column,
+            message,
+            raw,
+        }
+    }
+}
+
+/// Outcome of a lenient jobs-table parse: the good rows plus the
+/// quarantine list.
+#[derive(Debug, Clone, Default)]
+pub struct JobsTable {
+    /// Successfully parsed accounting records.
+    pub jobs: Vec<JobRecord>,
+    /// Power summaries aligned with `jobs`.
+    pub summaries: Vec<JobPowerSummary>,
+    /// Rows refused by the parser.
+    pub quarantined: Vec<QuarantinedRow>,
+}
+
+/// Outcome of a lenient system-table parse.
+#[derive(Debug, Clone, Default)]
+pub struct SystemTable {
+    /// Successfully parsed samples (file order, not yet sorted).
+    pub samples: Vec<SystemSample>,
+    /// Rows refused by the parser.
+    pub quarantined: Vec<QuarantinedRow>,
+}
+
+/// Tracks quarantined rows against the error budget; the common driver
+/// behind every lenient reader in this crate.
+pub(crate) struct Quarantine {
+    opts: ParseOptions,
+    rows: Vec<QuarantinedRow>,
+}
+
+impl Quarantine {
+    pub(crate) fn new(opts: ParseOptions) -> Self {
+        Self {
+            opts,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records one bad row. In strict mode this returns the error
+    /// unchanged; in lenient mode it quarantines and returns `Ok` unless
+    /// the budget is exhausted.
+    pub(crate) fn push(&mut self, err: TraceError, raw: &str) -> Result<()> {
+        let (line, column, message) = match err {
+            TraceError::Parse {
+                line,
+                column,
+                message,
+            } => (line, column, message),
+            other => return Err(other),
+        };
+        if self.opts.mode == ParseMode::Strict {
+            return Err(TraceError::Parse {
+                line,
+                column,
+                message,
+            });
+        }
+        self.rows.push(QuarantinedRow::new(line, column, message, raw));
+        if self.rows.len() > self.opts.error_budget {
+            return Err(TraceError::ErrorBudgetExceeded {
+                quarantined: self.rows.len(),
+                budget: self.opts.error_budget,
+                first_line: self.rows.first().map(|r| r.line).unwrap_or(0),
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn into_rows(self) -> Vec<QuarantinedRow> {
+        if !self.rows.is_empty() {
+            hpcpower_obs::counter_add("trace.ingest.rows_quarantined", self.rows.len() as u64);
+        }
+        self.rows
+    }
+}
 
 /// Header of `jobs.csv`.
 pub const JOBS_HEADER: &str = "job_id,user_id,app_id,submit_min,start_min,end_min,nodes,walltime_req_min,per_node_power_w,energy_wmin,peak_overshoot,frac_time_above_10pct,temporal_cv,avg_spatial_spread_w,frac_time_spread_above_avg,energy_imbalance";
@@ -68,21 +231,60 @@ pub fn write_jobs<W: Write>(
     Ok(())
 }
 
-/// Reads a jobs table written by [`write_jobs`].
-pub fn read_jobs<R: BufRead>(r: R) -> Result<(Vec<JobRecord>, Vec<JobPowerSummary>)> {
-    let mut jobs = Vec::new();
-    let mut summaries = Vec::new();
+/// Parses one data row of `jobs.csv`. Errors carry the 1-based field
+/// column of the offending cell.
+fn parse_jobs_row(lineno: usize, line: &str) -> Result<(JobRecord, JobPowerSummary)> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 16 {
+        return Err(TraceError::parse_at(
+            lineno,
+            fields.len().min(16),
+            format!("expected 16 fields, got {}", fields.len()),
+        ));
+    }
+    let perr =
+        |k: usize, what: &str| TraceError::parse_at(lineno, k + 1, format!("bad {what}"));
+    let u64_at = |k: usize, what: &str| fields[k].parse::<u64>().map_err(|_| perr(k, what));
+    let u32_at = |k: usize, what: &str| fields[k].parse::<u32>().map_err(|_| perr(k, what));
+    let f64_at = |k: usize, what: &str| fields[k].parse::<f64>().map_err(|_| perr(k, what));
+    let id = JobId(u32_at(0, "job_id")?);
+    let record = JobRecord {
+        id,
+        user: UserId(u32_at(1, "user_id")?),
+        app: AppId(u32_at(2, "app_id")?),
+        submit_min: u64_at(3, "submit_min")?,
+        start_min: u64_at(4, "start_min")?,
+        end_min: u64_at(5, "end_min")?,
+        nodes: u32_at(6, "nodes")?,
+        walltime_req_min: u64_at(7, "walltime_req_min")?,
+    };
+    let summary = JobPowerSummary {
+        id,
+        per_node_power_w: f64_at(8, "per_node_power_w")?,
+        energy_wmin: f64_at(9, "energy_wmin")?,
+        peak_overshoot: f64_at(10, "peak_overshoot")?,
+        frac_time_above_10pct: f64_at(11, "frac_time_above_10pct")?,
+        temporal_cv: f64_at(12, "temporal_cv")?,
+        avg_spatial_spread_w: f64_at(13, "avg_spatial_spread_w")?,
+        frac_time_spread_above_avg: f64_at(14, "frac_time_spread_above_avg")?,
+        energy_imbalance: f64_at(15, "energy_imbalance")?,
+    };
+    Ok((record, summary))
+}
+
+/// Reads a jobs table under the given [`ParseOptions`].
+///
+/// In lenient mode, malformed rows and rows re-using an already-seen
+/// job id are quarantined instead of aborting the parse.
+pub fn read_jobs_with<R: BufRead>(r: R, opts: ParseOptions) -> Result<JobsTable> {
+    let mut out = JobsTable::default();
+    let mut quarantine = Quarantine::new(opts);
+    let mut seen_ids = std::collections::HashSet::new();
     let mut lines = r.lines().enumerate();
-    let (_, header) = lines.next().ok_or(TraceError::Parse {
-        line: 1,
-        message: "empty file".into(),
-    })?;
+    let (_, header) = lines.next().ok_or_else(|| TraceError::parse(1, "empty file"))?;
     let header = header?;
     if header.trim() != JOBS_HEADER {
-        return Err(TraceError::Parse {
-            line: 1,
-            message: format!("unexpected header: {header}"),
-        });
+        return Err(TraceError::parse(1, format!("unexpected header: {header}")));
     }
     for (i, line) in lines {
         let line = line?;
@@ -90,44 +292,29 @@ pub fn read_jobs<R: BufRead>(r: R) -> Result<(Vec<JobRecord>, Vec<JobPowerSummar
             continue;
         }
         let lineno = i + 1;
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 16 {
-            return Err(TraceError::Parse {
-                line: lineno,
-                message: format!("expected 16 fields, got {}", fields.len()),
-            });
+        match parse_jobs_row(lineno, &line) {
+            Ok((record, summary)) => {
+                if !seen_ids.insert(record.id) {
+                    quarantine.push(
+                        TraceError::parse_at(lineno, 1, format!("duplicate {}", record.id)),
+                        &line,
+                    )?;
+                    continue;
+                }
+                out.jobs.push(record);
+                out.summaries.push(summary);
+            }
+            Err(e) => quarantine.push(e, &line)?,
         }
-        let perr = |what: &str| TraceError::Parse {
-            line: lineno,
-            message: format!("bad {what}"),
-        };
-        let u64_at = |k: usize, what: &str| fields[k].parse::<u64>().map_err(|_| perr(what));
-        let u32_at = |k: usize, what: &str| fields[k].parse::<u32>().map_err(|_| perr(what));
-        let f64_at = |k: usize, what: &str| fields[k].parse::<f64>().map_err(|_| perr(what));
-        let id = JobId(u32_at(0, "job_id")?);
-        jobs.push(JobRecord {
-            id,
-            user: UserId(u32_at(1, "user_id")?),
-            app: AppId(u32_at(2, "app_id")?),
-            submit_min: u64_at(3, "submit_min")?,
-            start_min: u64_at(4, "start_min")?,
-            end_min: u64_at(5, "end_min")?,
-            nodes: u32_at(6, "nodes")?,
-            walltime_req_min: u64_at(7, "walltime_req_min")?,
-        });
-        summaries.push(JobPowerSummary {
-            id,
-            per_node_power_w: f64_at(8, "per_node_power_w")?,
-            energy_wmin: f64_at(9, "energy_wmin")?,
-            peak_overshoot: f64_at(10, "peak_overshoot")?,
-            frac_time_above_10pct: f64_at(11, "frac_time_above_10pct")?,
-            temporal_cv: f64_at(12, "temporal_cv")?,
-            avg_spatial_spread_w: f64_at(13, "avg_spatial_spread_w")?,
-            frac_time_spread_above_avg: f64_at(14, "frac_time_spread_above_avg")?,
-            energy_imbalance: f64_at(15, "energy_imbalance")?,
-        });
     }
-    Ok((jobs, summaries))
+    out.quarantined = quarantine.into_rows();
+    Ok(out)
+}
+
+/// Reads a jobs table written by [`write_jobs`] (strict mode).
+pub fn read_jobs<R: BufRead>(r: R) -> Result<(Vec<JobRecord>, Vec<JobPowerSummary>)> {
+    let table = read_jobs_with(r, ParseOptions::strict())?;
+    Ok((table.jobs, table.summaries))
 }
 
 /// Writes the per-minute system table.
@@ -139,56 +326,58 @@ pub fn write_system<W: Write>(w: &mut W, series: &[SystemSample]) -> Result<()> 
     Ok(())
 }
 
-/// Reads a system table written by [`write_system`].
-pub fn read_system<R: BufRead>(r: R) -> Result<Vec<SystemSample>> {
-    let mut out = Vec::new();
+/// Parses one data row of `system.csv`.
+fn parse_system_row(lineno: usize, line: &str) -> Result<SystemSample> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 3 {
+        return Err(TraceError::parse_at(
+            lineno,
+            fields.len().min(3),
+            format!("expected 3 fields, got {}", fields.len()),
+        ));
+    }
+    let minute = fields[0]
+        .parse()
+        .map_err(|_| TraceError::parse_at(lineno, 1, "bad minute"))?;
+    let active_nodes = fields[1]
+        .parse()
+        .map_err(|_| TraceError::parse_at(lineno, 2, "bad active_nodes"))?;
+    let total_power_w = fields[2]
+        .parse()
+        .map_err(|_| TraceError::parse_at(lineno, 3, "bad total_power_w"))?;
+    Ok(SystemSample {
+        minute,
+        active_nodes,
+        total_power_w,
+    })
+}
+
+/// Reads a system table under the given [`ParseOptions`].
+pub fn read_system_with<R: BufRead>(r: R, opts: ParseOptions) -> Result<SystemTable> {
+    let mut out = SystemTable::default();
+    let mut quarantine = Quarantine::new(opts);
     let mut lines = r.lines().enumerate();
-    let (_, header) = lines.next().ok_or(TraceError::Parse {
-        line: 1,
-        message: "empty file".into(),
-    })?;
+    let (_, header) = lines.next().ok_or_else(|| TraceError::parse(1, "empty file"))?;
     if header?.trim() != SYSTEM_HEADER {
-        return Err(TraceError::Parse {
-            line: 1,
-            message: "unexpected header".into(),
-        });
+        return Err(TraceError::parse(1, "unexpected header"));
     }
     for (i, line) in lines {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let lineno = i + 1;
-        let mut parts = line.split(',');
-        let mut next = |what: &str| {
-            parts.next().ok_or_else(|| TraceError::Parse {
-                line: lineno,
-                message: format!("missing {what}"),
-            })
-        };
-        let minute = next("minute")?.parse().map_err(|_| TraceError::Parse {
-            line: lineno,
-            message: "bad minute".into(),
-        })?;
-        let active_nodes = next("active_nodes")?
-            .parse()
-            .map_err(|_| TraceError::Parse {
-                line: lineno,
-                message: "bad active_nodes".into(),
-            })?;
-        let total_power_w = next("total_power_w")?
-            .parse()
-            .map_err(|_| TraceError::Parse {
-                line: lineno,
-                message: "bad total_power_w".into(),
-            })?;
-        out.push(SystemSample {
-            minute,
-            active_nodes,
-            total_power_w,
-        });
+        match parse_system_row(i + 1, &line) {
+            Ok(sample) => out.samples.push(sample),
+            Err(e) => quarantine.push(e, &line)?,
+        }
     }
+    out.quarantined = quarantine.into_rows();
     Ok(out)
+}
+
+/// Reads a system table written by [`write_system`] (strict mode).
+pub fn read_system<R: BufRead>(r: R) -> Result<Vec<SystemSample>> {
+    read_system_with(r, ParseOptions::strict()).map(|t| t.samples)
 }
 
 #[cfg(test)]
@@ -306,6 +495,96 @@ mod tests {
             Err(TraceError::Parse { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn strict_error_carries_column() {
+        let (jobs, summaries) = sample_rows();
+        let mut buf = Vec::new();
+        write_jobs(&mut buf, &jobs, &summaries).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text = text.replace("151.25", "not-a-number");
+        match read_jobs(BufReader::new(text.as_bytes())) {
+            Err(TraceError::Parse { line, column, message }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, Some(9), "per_node_power_w is field 9");
+                assert!(message.contains("per_node_power_w"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_quarantines_and_recovers() {
+        let (jobs, summaries) = sample_rows();
+        let mut buf = Vec::new();
+        write_jobs(&mut buf, &jobs, &summaries).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        // Truncated row, non-numeric cell, duplicate id.
+        text.push_str("7,1,1,0,0\n");
+        text.push_str("8,1,1,0,10,60,abc,120,100,100,0,0,0,0,0,0\n");
+        text.push_str("0,9,9,0,10,60,2,120,100,100,0,0,0,0,0,0\n");
+        let table = read_jobs_with(
+            BufReader::new(text.as_bytes()),
+            ParseOptions::lenient(10),
+        )
+        .unwrap();
+        assert_eq!(table.jobs.len(), 2, "good rows kept");
+        assert_eq!(table.quarantined.len(), 3);
+        assert_eq!(table.quarantined[0].line, 4);
+        assert_eq!(table.quarantined[1].column, Some(7), "nodes is field 7");
+        assert!(table.quarantined[2].message.contains("duplicate"));
+    }
+
+    #[test]
+    fn lenient_respects_error_budget() {
+        let (jobs, summaries) = sample_rows();
+        let mut buf = Vec::new();
+        write_jobs(&mut buf, &jobs, &summaries).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("bad\nworse\nterrible\n");
+        match read_jobs_with(BufReader::new(text.as_bytes()), ParseOptions::lenient(2)) {
+            Err(TraceError::ErrorBudgetExceeded {
+                quarantined,
+                budget,
+                first_line,
+            }) => {
+                assert_eq!(quarantined, 3);
+                assert_eq!(budget, 2);
+                assert_eq!(first_line, 4);
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_system_table_recovers() {
+        let series = vec![
+            SystemSample {
+                minute: 0,
+                active_nodes: 10,
+                total_power_w: 1500.0,
+            },
+            SystemSample {
+                minute: 1,
+                active_nodes: 11,
+                total_power_w: 1600.0,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_system(&mut buf, &series).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("2,eleven,1600\n3,12,1700\n");
+        let table = read_system_with(
+            BufReader::new(text.as_bytes()),
+            ParseOptions::lenient(5),
+        )
+        .unwrap();
+        assert_eq!(table.samples.len(), 3);
+        assert_eq!(table.quarantined.len(), 1);
+        assert_eq!(table.quarantined[0].column, Some(2));
+        // Strict mode still fails fast on the same input.
+        assert!(read_system(BufReader::new(text.as_bytes())).is_err());
     }
 
     #[test]

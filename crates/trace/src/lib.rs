@@ -31,6 +31,7 @@ pub mod ids;
 pub mod index;
 pub mod job;
 pub mod json;
+pub mod repair;
 pub mod series;
 pub mod swf;
 pub mod system;
@@ -40,33 +41,95 @@ pub use dataset::TraceDataset;
 pub use ids::{AppId, JobId, NodeId, UserId};
 pub use index::{AppRollup, DatasetIndex, UserRollup};
 pub use job::{JobPowerSummary, JobRecord};
+pub use repair::{repair, DataQualityReport, RepairConfig, RepairPolicy};
 pub use series::JobSeries;
 pub use system::SystemSpec;
 
-/// Errors produced by trace I/O and validation.
+/// Errors produced by trace I/O, ingestion, and validation.
 #[derive(Debug)]
 pub enum TraceError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// A record failed to parse: line number and message.
+    /// A record failed to parse: line number, optional column, message.
     Parse {
         /// 1-based line number within the file.
         line: usize,
+        /// 1-based field (column) index within the line, when known.
+        column: Option<usize>,
         /// Human-readable description.
         message: String,
     },
     /// A dataset invariant was violated.
     Invalid(String),
+    /// Multiple dataset invariants were violated (bounded list; see
+    /// [`validate::MAX_VIOLATIONS`]).
+    Violations(Vec<String>),
+    /// Lenient ingestion quarantined more rows than the error budget
+    /// allows.
+    ErrorBudgetExceeded {
+        /// Rows quarantined before giving up.
+        quarantined: usize,
+        /// The configured budget.
+        budget: usize,
+        /// Line number of the first quarantined row.
+        first_line: usize,
+    },
+}
+
+impl TraceError {
+    /// Constructs a parse error without column context.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        TraceError::Parse {
+            line,
+            column: None,
+            message: message.into(),
+        }
+    }
+
+    /// Constructs a parse error pinned to a 1-based field column.
+    pub fn parse_at(line: usize, column: usize, message: impl Into<String>) -> Self {
+        TraceError::Parse {
+            line,
+            column: Some(column),
+            message: message.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::Io(e) => write!(f, "I/O error: {e}"),
-            TraceError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
-            }
+            TraceError::Parse {
+                line,
+                column: Some(col),
+                message,
+            } => write!(f, "parse error at line {line}, field {col}: {message}"),
+            TraceError::Parse {
+                line,
+                column: None,
+                message,
+            } => write!(f, "parse error at line {line}: {message}"),
             TraceError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
+            TraceError::Violations(v) => {
+                write!(f, "invalid dataset: {} violation(s)", v.len())?;
+                for msg in v.iter().take(5) {
+                    write!(f, "; {msg}")?;
+                }
+                if v.len() > 5 {
+                    write!(f, "; ...")?;
+                }
+                Ok(())
+            }
+            TraceError::ErrorBudgetExceeded {
+                quarantined,
+                budget,
+                first_line,
+            } => write!(
+                f,
+                "error budget exceeded: {quarantined} rows quarantined (budget {budget}), \
+                 first bad row at line {first_line}"
+            ),
         }
     }
 }

@@ -86,6 +86,41 @@ impl JobSeries {
         &self.samples[start..start + m]
     }
 
+    /// Mutable access to all samples of one node — the entry point for
+    /// fault injection and repair imputation.
+    pub fn node_row_mut(&mut self, node: u32) -> &mut [f64] {
+        let m = self.minutes as usize;
+        let start = node as usize * m;
+        &mut self.samples[start..start + m]
+    }
+
+    /// Overwrites the sample for `(node, minute)`.
+    #[inline]
+    pub fn set_power(&mut self, node: u32, minute: u32, watts: f64) {
+        debug_assert!(node < self.nodes && minute < self.minutes);
+        self.samples[node as usize * self.minutes as usize + minute as usize] = watts;
+    }
+
+    /// Whether any sample is NaN or infinite (e.g. a dropout marker).
+    pub fn has_non_finite(&self) -> bool {
+        self.samples.iter().any(|v| !v.is_finite())
+    }
+
+    /// A copy truncated to the first `minutes` samples per node — models
+    /// a job killed early by a node crash. Returns `None` if `minutes`
+    /// is zero or exceeds the series length.
+    pub fn truncated(&self, minutes: u32) -> Option<JobSeries> {
+        if minutes == 0 || minutes > self.minutes {
+            return None;
+        }
+        let m = minutes as usize;
+        let mut samples = Vec::with_capacity(self.nodes as usize * m);
+        for n in 0..self.nodes {
+            samples.extend_from_slice(&self.node_row(n)[..m]);
+        }
+        JobSeries::new(self.id, self.nodes, minutes, samples)
+    }
+
     /// Node-averaged job power at one minute.
     pub fn job_power_at(&self, minute: u32) -> f64 {
         let mut sum = 0.0;
@@ -216,6 +251,29 @@ mod tests {
         let s = series();
         assert!(s.subsampled(0).is_none());
         assert!(s.subsampled(99).is_none());
+    }
+
+    #[test]
+    fn mutation_helpers() {
+        let mut s = series();
+        s.set_power(0, 1, f64::NAN);
+        assert!(s.has_non_finite());
+        s.node_row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert!(!s.has_non_finite());
+        assert_eq!(s.node_row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.node_row(1), &[90.0, 95.0, 100.0], "other row untouched");
+    }
+
+    #[test]
+    fn truncation() {
+        let s = series();
+        let t = s.truncated(2).unwrap();
+        assert_eq!(t.minutes(), 2);
+        assert_eq!(t.node_row(0), &[100.0, 110.0]);
+        assert_eq!(t.node_row(1), &[90.0, 95.0]);
+        assert!(s.truncated(0).is_none());
+        assert!(s.truncated(4).is_none());
+        assert_eq!(s.truncated(3).unwrap(), s);
     }
 
     #[test]

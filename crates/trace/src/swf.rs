@@ -18,6 +18,7 @@
 
 use std::io::{BufRead, Write};
 
+use crate::csv::{ParseOptions, Quarantine, QuarantinedRow};
 use crate::dataset::TraceDataset;
 use crate::{Result, TraceError};
 
@@ -74,41 +75,66 @@ pub struct SwfJob {
     pub user: u32,
 }
 
+/// Outcome of a lenient SWF parse.
+#[derive(Debug, Clone, Default)]
+pub struct SwfTable {
+    /// Successfully parsed records.
+    pub jobs: Vec<SwfJob>,
+    /// Lines refused by the parser.
+    pub quarantined: Vec<QuarantinedRow>,
+}
+
+/// Parses one SWF data line. Errors carry the 1-based field column.
+fn parse_swf_row(lineno: usize, trimmed: &str) -> Result<SwfJob> {
+    let fields: Vec<&str> = trimmed.split_whitespace().collect();
+    if fields.len() < 18 {
+        return Err(TraceError::parse_at(
+            lineno,
+            fields.len().min(18),
+            format!("SWF needs 18 fields, got {}", fields.len()),
+        ));
+    }
+    let parse_u64 = |k: usize, what: &str| -> Result<u64> {
+        let v: i64 = fields[k]
+            .parse()
+            .map_err(|_| TraceError::parse_at(lineno, k + 1, format!("bad {what}")))?;
+        Ok(v.max(0) as u64)
+    };
+    Ok(SwfJob {
+        id: parse_u64(0, "job id")?,
+        submit_s: parse_u64(1, "submit")?,
+        wait_s: parse_u64(2, "wait")?,
+        runtime_s: parse_u64(3, "runtime")?,
+        procs: parse_u64(4, "procs")? as u32,
+        time_req_s: parse_u64(8, "time request")?,
+        user: parse_u64(11, "user")? as u32,
+    })
+}
+
 /// Parses the subset of SWF this crate writes (and any archive file with
-/// the standard 18 columns). Comment lines (`;`) are skipped.
-pub fn read_swf<R: BufRead>(r: R) -> Result<Vec<SwfJob>> {
-    let mut out = Vec::new();
+/// the standard 18 columns) under the given [`ParseOptions`]. Comment
+/// lines (`;`) are skipped.
+pub fn read_swf_with<R: BufRead>(r: R, opts: ParseOptions) -> Result<SwfTable> {
+    let mut out = SwfTable::default();
+    let mut quarantine = Quarantine::new(opts);
     for (lineno, line) in r.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with(';') {
             continue;
         }
-        let fields: Vec<&str> = trimmed.split_whitespace().collect();
-        if fields.len() < 18 {
-            return Err(TraceError::Parse {
-                line: lineno + 1,
-                message: format!("SWF needs 18 fields, got {}", fields.len()),
-            });
+        match parse_swf_row(lineno + 1, trimmed) {
+            Ok(job) => out.jobs.push(job),
+            Err(e) => quarantine.push(e, trimmed)?,
         }
-        let parse_u64 = |k: usize, what: &str| -> Result<u64> {
-            let v: i64 = fields[k].parse().map_err(|_| TraceError::Parse {
-                line: lineno + 1,
-                message: format!("bad {what}"),
-            })?;
-            Ok(v.max(0) as u64)
-        };
-        out.push(SwfJob {
-            id: parse_u64(0, "job id")?,
-            submit_s: parse_u64(1, "submit")?,
-            wait_s: parse_u64(2, "wait")?,
-            runtime_s: parse_u64(3, "runtime")?,
-            procs: parse_u64(4, "procs")? as u32,
-            time_req_s: parse_u64(8, "time request")?,
-            user: parse_u64(11, "user")? as u32,
-        });
     }
+    out.quarantined = quarantine.into_rows();
     Ok(out)
+}
+
+/// Strict-mode SWF read: fails fast on the first malformed line.
+pub fn read_swf<R: BufRead>(r: R) -> Result<Vec<SwfJob>> {
+    read_swf_with(r, ParseOptions::strict()).map(|t| t.jobs)
 }
 
 #[cfg(test)]
@@ -207,6 +233,19 @@ mod tests {
     fn short_lines_rejected() {
         let text = "1 2 3\n";
         assert!(read_swf(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn lenient_swf_quarantines_short_lines() {
+        let text = "; header\n1 2 3\n5 100 0 200 4 -1 -1 4 300 -1 1 2 -1 1 -1 -1 -1 -1\n";
+        let table = read_swf_with(
+            BufReader::new(text.as_bytes()),
+            ParseOptions::lenient(5),
+        )
+        .unwrap();
+        assert_eq!(table.jobs.len(), 1);
+        assert_eq!(table.quarantined.len(), 1);
+        assert_eq!(table.quarantined[0].line, 2);
     }
 
     #[test]

@@ -4,9 +4,12 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
-cargo clippy --all-targets -- -D warnings
+# --workspace everywhere: the root umbrella package does not depend on
+# hpcpower-cli, so a bare `cargo build --release` would leave a stale
+# ./target/release/hpcpower for the smoke runs below.
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
 
 # Observability smoke: a real CLI run with --metrics-out must emit a
 # parseable metrics document containing the required span timings and
@@ -33,5 +36,37 @@ else
     grep -q '"sim.monitor.samples"' "$SMOKE_DIR/metrics.json"
     grep -q '"sim.sched.backfill_hits"' "$SMOKE_DIR/metrics.json"
     echo "obs smoke: metrics JSON contains required keys (python3 unavailable)"
+fi
+
+# Fault-injection smoke: a dirty trace must round-trip through
+# ingest-with-repair and then analyze cleanly, with a data-quality
+# section in both the text and JSON reports.
+./target/release/hpcpower simulate --system emmy --seed 5 \
+    --nodes 16 --days 3 --users 8 --quiet --faults 0.05 \
+    --out "$SMOKE_DIR/dirty" | grep -q 'faults injected:'
+./target/release/hpcpower ingest --jobs "$SMOKE_DIR/dirty/jobs.csv" \
+    --system "$SMOKE_DIR/dirty/system.csv" --nodes 16 --lenient \
+    --repair-policy hold-last --out "$SMOKE_DIR/repaired" \
+    | grep -q '0 after'
+./target/release/hpcpower analyze --data "$SMOKE_DIR/repaired/dataset.json" \
+    --splits 2 >/dev/null
+./target/release/hpcpower analyze --data "$SMOKE_DIR/dirty/dataset.json" \
+    --splits 2 --repair-policy drop-job --json \
+    > "$SMOKE_DIR/quality-report.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SMOKE_DIR/quality-report.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+q = r["data_quality"]
+assert q is not None, "data_quality section missing"
+assert q["violations_after"] == 0, "repair left violations"
+assert q["policy"] == "DropJob", f"unexpected policy {q['policy']}"
+print("fault smoke: repaired report JSON valid")
+EOF
+else
+    grep -q '"data_quality"' "$SMOKE_DIR/quality-report.json"
+    grep -q '"violations_after": 0' "$SMOKE_DIR/quality-report.json"
+    echo "fault smoke: quality section present (python3 unavailable)"
 fi
 echo "tier1: OK"
