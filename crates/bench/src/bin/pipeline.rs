@@ -1,12 +1,20 @@
 //! Pipeline speedup harness: times trace materialization plus full
-//! report generation at 1 thread and at all cores, and writes the
-//! result to `BENCH_pipeline.json`.
+//! report generation at 1 thread and at all cores, and **appends** the
+//! result to the run history in `BENCH_pipeline.json`.
 //!
 //! ```text
 //! cargo run --release -p hpcpower-bench --bin pipeline             # Emmy scale
 //! cargo run --release -p hpcpower-bench --bin pipeline -- --small  # smoke run
 //! cargo run --release -p hpcpower-bench --bin pipeline -- --out path.json
 //! ```
+//!
+//! The output file is `{"runs": [...]}` — one entry per invocation,
+//! oldest first, each tagged with the git commit (`git_sha`), the UTC
+//! `date`, the workload shape, per-stage wall times for the serial and
+//! parallel configurations, and the span duration quantiles
+//! (p50/p90/p99/max) of the parallel run. A pre-history file holding a
+//! single bare run object is absorbed as the first history entry.
+//! `hpcpower bench diff` consumes this history and gates on regressions.
 //!
 //! The parallel path is bit-deterministic (DESIGN.md, "Parallelism &
 //! determinism"), so the serial and parallel runs produce the same
@@ -19,12 +27,12 @@
 //! and `report.render` (text report). The registry is reset before each
 //! run so the spans belong to exactly one configuration.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use hpcpower::prediction::PredictionConfig;
 use hpcpower::{json_report, report};
 use hpcpower_sim::{simulate, with_threads, SimConfig};
+use serde_json::Value;
 
 /// Per-stage wall times extracted from the run's span snapshot.
 struct Stages {
@@ -34,6 +42,9 @@ struct Stages {
     report_s: f64,
 }
 
+/// `(count, p50_ns, p90_ns, p99_ns, max_ns)` of one span's durations.
+type SpanQuantiles = (u64, f64, f64, f64, u64);
+
 struct Run {
     threads_requested: usize,
     threads_used: usize,
@@ -41,6 +52,7 @@ struct Run {
     report_s: f64,
     jobs: usize,
     stages: Stages,
+    quantiles: Vec<(String, SpanQuantiles)>,
 }
 
 impl Run {
@@ -88,6 +100,16 @@ fn run_once(cfg: &SimConfig, pcfg: &PredictionConfig, threads: usize) -> Run {
         analyze_s: span_secs(&snap, "analyze"),
         report_s: span_secs(&snap, "report.render"),
     };
+    let quantiles = snap
+        .spans
+        .iter()
+        .map(|(name, s)| {
+            (
+                name.clone(),
+                (s.count, s.p50_ns, s.p90_ns, s.p99_ns, s.max_ns),
+            )
+        })
+        .collect();
     eprintln!(
         "  threads={threads} ({threads_used} workers): simulate {simulate_s:.2}s, \
          report {report_s:.2}s ({} jobs, {} report bytes, {} analyses)",
@@ -102,6 +124,119 @@ fn run_once(cfg: &SimConfig, pcfg: &PredictionConfig, threads: usize) -> Run {
         report_s,
         jobs: dataset.len(),
         stages,
+        quantiles,
+    }
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"` outside a git checkout.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days; the workspace has
+/// no date crate).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn round3(v: f64) -> Value {
+    Value::Num((v * 1e3).round() / 1e3)
+}
+
+fn config_json(run: &Run) -> Value {
+    obj(vec![
+        ("threads_requested", Value::UInt(run.threads_requested as u64)),
+        ("threads_used", Value::UInt(run.threads_used as u64)),
+        ("jobs", Value::UInt(run.jobs as u64)),
+        ("simulate_s", round3(run.simulate_s)),
+        ("report_s", round3(run.report_s)),
+        ("wall_s", round3(run.total_s())),
+        ("jobs_per_s", Value::Num((run.jobs_per_s() * 10.0).round() / 10.0)),
+        (
+            "stages",
+            obj(vec![
+                ("simulate_s", round3(run.stages.simulate_s)),
+                ("index_s", round3(run.stages.index_s)),
+                ("analyze_s", round3(run.stages.analyze_s)),
+                ("report_s", round3(run.stages.report_s)),
+            ]),
+        ),
+    ])
+}
+
+fn quantiles_json(run: &Run) -> Value {
+    Value::Object(
+        run.quantiles
+            .iter()
+            .map(|(name, (count, p50, p90, p99, max_ns))| {
+                (
+                    name.clone(),
+                    obj(vec![
+                        ("count", Value::UInt(*count)),
+                        ("p50_ns", Value::Num(p50.round())),
+                        ("p90_ns", Value::Num(p90.round())),
+                        ("p99_ns", Value::Num(p99.round())),
+                        ("max_ns", Value::UInt(*max_ns)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Prior runs from an existing history file. A pre-history file holding
+/// one bare run object (recognized by its top-level `"system"` key) is
+/// migrated to a single-entry history.
+fn load_history(path: &str) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = serde_json::parse(&text) else {
+        eprintln!("warning: {path} is not valid JSON; starting a fresh history");
+        return Vec::new();
+    };
+    match doc.as_object() {
+        Some(entries) => {
+            if let Some(runs) = serde_json::find(entries, "runs").and_then(Value::as_array) {
+                runs.to_vec()
+            } else if serde_json::find(entries, "system").is_some() {
+                eprintln!("migrating legacy single-run {path} into run history");
+                vec![doc.clone()]
+            } else {
+                eprintln!("warning: {path} has neither 'runs' nor a bare run; starting fresh");
+                Vec::new()
+            }
+        }
+        None => Vec::new(),
     }
 }
 
@@ -141,32 +276,25 @@ fn main() {
     let parallel = run_once(&cfg, &pcfg, 0);
     let speedup = serial.total_s() / parallel.total_s();
 
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"system\": \"{}\",", cfg.system.name);
-    let _ = writeln!(json, "  \"nodes\": {},", cfg.system.nodes);
-    let _ = writeln!(json, "  \"days\": {},", cfg.horizon_min / 1440);
-    let _ = writeln!(json, "  \"cores_available\": {cores},");
-    for (key, run) in [("serial", &serial), ("parallel", &parallel)] {
-        let _ = writeln!(json, "  \"{key}\": {{");
-        let _ = writeln!(json, "    \"threads_requested\": {},", run.threads_requested);
-        let _ = writeln!(json, "    \"threads_used\": {},", run.threads_used);
-        let _ = writeln!(json, "    \"jobs\": {},", run.jobs);
-        let _ = writeln!(json, "    \"simulate_s\": {:.3},", run.simulate_s);
-        let _ = writeln!(json, "    \"report_s\": {:.3},", run.report_s);
-        let _ = writeln!(json, "    \"wall_s\": {:.3},", run.total_s());
-        let _ = writeln!(json, "    \"jobs_per_s\": {:.1},", run.jobs_per_s());
-        let _ = writeln!(json, "    \"stages\": {{");
-        let _ = writeln!(json, "      \"simulate_s\": {:.3},", run.stages.simulate_s);
-        let _ = writeln!(json, "      \"index_s\": {:.3},", run.stages.index_s);
-        let _ = writeln!(json, "      \"analyze_s\": {:.3},", run.stages.analyze_s);
-        let _ = writeln!(json, "      \"report_s\": {:.3}", run.stages.report_s);
-        let _ = writeln!(json, "    }}");
-        let _ = writeln!(json, "  }},");
-    }
-    let _ = writeln!(json, "  \"speedup\": {speedup:.2}");
-    json.push_str("}\n");
+    let run = obj(vec![
+        ("git_sha", Value::Str(git_sha())),
+        ("date", Value::Str(today_utc())),
+        ("system", Value::Str(cfg.system.name.clone())),
+        ("nodes", Value::UInt(u64::from(cfg.system.nodes))),
+        ("days", Value::UInt(cfg.horizon_min / 1440)),
+        ("cores_available", Value::UInt(cores as u64)),
+        ("serial", config_json(&serial)),
+        ("parallel", config_json(&parallel)),
+        ("speedup", Value::Num((speedup * 100.0).round() / 100.0)),
+        ("quantiles", quantiles_json(&parallel)),
+    ]);
 
+    let mut runs = load_history(&out);
+    runs.push(run);
+    let n_runs = runs.len();
+    let doc = obj(vec![("runs", Value::Array(runs))]);
+    let json = serde_json::to_string_pretty(&doc).expect("serialize bench history");
     std::fs::write(&out, &json).expect("write bench output");
-    eprintln!("speedup {speedup:.2}x on {cores} cores -> {out}");
-    print!("{json}");
+    eprintln!("speedup {speedup:.2}x on {cores} cores -> {out} ({n_runs} runs in history)");
+    println!("{json}");
 }

@@ -1,0 +1,159 @@
+//! `hpcpower bench diff` — the perf-regression gate over the run
+//! history that `cargo run -p hpcpower-bench --bin pipeline` appends to
+//! `BENCH_pipeline.json`.
+//!
+//! Compares the latest run against a baseline run (`--baseline N` runs
+//! earlier, default the previous one), prints a per-stage wall-time
+//! delta table, and — when `--fail-on-regress PCT` is given — exits
+//! with code 3 if the gate metric (`parallel.wall_s`, falling back to
+//! `serial.wall_s` for single-config histories) regressed by more than
+//! PCT percent. Without the flag the diff is informational and always
+//! exits 0, which is how `scripts/tier1.sh` runs it (machines differ;
+//! history entries from other hosts must not fail CI).
+
+use serde_json::Value;
+
+use crate::args::Args;
+
+/// Exit code for a gated regression — distinct from usage errors (2).
+const REGRESS_EXIT: i32 = 3;
+
+/// Walks `path` through nested JSON objects to a number.
+fn metric(run: &Value, path: &[&str]) -> Option<f64> {
+    let mut v = run;
+    for key in path {
+        v = serde_json::find(v.as_object()?, key)?;
+    }
+    v.as_f64()
+}
+
+fn run_str(run: &Value, key: &str) -> String {
+    run.as_object()
+        .and_then(|o| serde_json::find(o, key))
+        .and_then(Value::as_str)
+        .unwrap_or("unknown")
+        .to_string()
+}
+
+/// Loads the run history, migrating a legacy single-run document (bare
+/// object with a top-level `"system"` key) to a one-entry history.
+fn load_runs(path: &str) -> Result<Vec<Value>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = serde_json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let entries = doc
+        .as_object()
+        .ok_or_else(|| format!("{path}: expected a JSON object"))?;
+    if let Some(runs) = serde_json::find(entries, "runs") {
+        let runs = runs
+            .as_array()
+            .ok_or_else(|| format!("{path}: 'runs' is not an array"))?;
+        Ok(runs.to_vec())
+    } else if serde_json::find(entries, "system").is_some() {
+        Ok(vec![doc.clone()])
+    } else {
+        Err(format!("{path}: neither a 'runs' history nor a bare run"))
+    }
+}
+
+/// The `(label, path)` wall-time rows of the comparison table.
+const ROWS: &[(&str, &[&str])] = &[
+    ("parallel.wall_s", &["parallel", "wall_s"]),
+    ("parallel.simulate_s", &["parallel", "stages", "simulate_s"]),
+    ("parallel.index_s", &["parallel", "stages", "index_s"]),
+    ("parallel.analyze_s", &["parallel", "stages", "analyze_s"]),
+    ("parallel.report_s", &["parallel", "stages", "report_s"]),
+    ("serial.wall_s", &["serial", "wall_s"]),
+    ("serial.simulate_s", &["serial", "stages", "simulate_s"]),
+    ("serial.analyze_s", &["serial", "stages", "analyze_s"]),
+    ("serial.report_s", &["serial", "stages", "report_s"]),
+    ("speedup", &["speedup"]),
+];
+
+fn delta_pct(base: f64, new: f64) -> Option<f64> {
+    (base > 0.0).then(|| 100.0 * (new - base) / base)
+}
+
+/// `hpcpower bench <subcommand>` dispatch. Only `diff` exists today.
+pub fn cmd_bench(args: &Args) -> Result<(), String> {
+    match args.positional.first().map(String::as_str) {
+        Some("diff") => cmd_diff(args),
+        Some(other) => Err(format!("unknown bench subcommand {other:?} (expected 'diff')")),
+        None => Err("missing bench subcommand (expected 'diff')".into()),
+    }
+}
+
+fn cmd_diff(args: &Args) -> Result<(), String> {
+    let path = args.get("bench").unwrap_or("BENCH_pipeline.json");
+    let baseline_back: usize = args.get_or("baseline", 1)?;
+    if baseline_back == 0 {
+        return Err("--baseline must be >= 1 (runs before the latest)".into());
+    }
+    let fail_pct: Option<f64> = args.get_parsed("fail-on-regress")?;
+    if let Some(p) = fail_pct {
+        if p < 0.0 {
+            return Err(format!("--fail-on-regress {p} must be non-negative"));
+        }
+    }
+
+    let runs = load_runs(path)?;
+    let n = runs.len();
+    if n < 2 {
+        println!("bench diff: {path} has {n} run(s); nothing to compare");
+        return Ok(());
+    }
+    let latest = &runs[n - 1];
+    let base_idx = n
+        .checked_sub(1 + baseline_back)
+        .ok_or_else(|| format!("--baseline {baseline_back} out of range ({n} runs in history)"))?;
+    let baseline = &runs[base_idx];
+
+    println!("bench diff: {path} ({n} runs)");
+    println!(
+        "  baseline: run {}/{n}  {} {}",
+        base_idx + 1,
+        run_str(baseline, "git_sha"),
+        run_str(baseline, "date"),
+    );
+    println!(
+        "  latest:   run {n}/{n}  {} {}",
+        run_str(latest, "git_sha"),
+        run_str(latest, "date"),
+    );
+    println!();
+    println!("  {:<22} {:>10} {:>10} {:>8}", "metric", "baseline", "latest", "delta");
+    for (label, mpath) in ROWS {
+        let (Some(b), Some(l)) = (metric(baseline, mpath), metric(latest, mpath)) else {
+            continue;
+        };
+        match delta_pct(b, l) {
+            Some(d) => println!("  {label:<22} {b:>10.3} {l:>10.3} {d:>+7.1}%"),
+            None => println!("  {label:<22} {b:>10.3} {l:>10.3}      n/a"),
+        }
+    }
+
+    // Gate on end-to-end parallel wall time — per-stage noise is
+    // reported above but only the overall pipeline cost fails builds.
+    let gate = [("parallel.wall_s", &["parallel", "wall_s"][..]), ("serial.wall_s", &["serial", "wall_s"][..])]
+        .into_iter()
+        .find_map(|(label, p)| {
+            Some((label, metric(baseline, p)?, metric(latest, p)?))
+        });
+    let Some((gate_label, gate_base, gate_latest)) = gate else {
+        return Err(format!("{path}: runs carry no wall_s gate metric"));
+    };
+    let Some(gate_delta) = delta_pct(gate_base, gate_latest) else {
+        println!("\ngate {gate_label}: baseline is 0, delta undefined; not gating");
+        return Ok(());
+    };
+    println!("\ngate {gate_label}: {gate_base:.3}s -> {gate_latest:.3}s ({gate_delta:+.1}%)");
+    if let Some(limit) = fail_pct {
+        if gate_delta > limit {
+            eprintln!(
+                "REGRESSION: {gate_label} {gate_delta:+.1}% exceeds --fail-on-regress {limit}%"
+            );
+            std::process::exit(REGRESS_EXIT);
+        }
+        println!("within --fail-on-regress {limit}%");
+    }
+    Ok(())
+}

@@ -11,6 +11,7 @@
 //! Run `hpcpower help` for the full surface.
 
 mod args;
+mod benchdiff;
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -35,8 +36,15 @@ GLOBAL FLAGS:
                      (default 0 = all cores). Output is bit-identical for
                      any value.
   --metrics-out PATH Collect pipeline telemetry (spans, counters, gauges,
-                     histograms) and write it as one JSON document.
+                     histograms) and write it to PATH.
                      Command output bytes are unaffected.
+  --metrics-format F Format of the --metrics-out file: 'json' (one JSON
+                     document, default) or 'prom' (Prometheus text
+                     exposition v0.0.4).
+  --trace-out PATH   Record a span event timeline and write it as Chrome
+                     trace-event JSON, loadable in Perfetto /
+                     chrome://tracing. Command output bytes are
+                     unaffected.
   --log-format FMT   Print a telemetry summary to stderr after the
                      command: 'text' (aligned table) or 'json' (one
                      JSON object per metric).
@@ -78,6 +86,12 @@ COMMANDS:
              --data PATH --user U --nodes N --walltime-h H
   powercap   Static power-cap what-if sweep
              --data PATH
+  bench diff Perf-regression gate over the BENCH_pipeline.json history
+             --bench PATH           (default BENCH_pipeline.json)
+             --baseline N           compare against N runs before the
+                                    latest (default 1)
+             --fail-on-regress PCT  exit 3 if parallel wall time
+                                    regressed more than PCT percent
   help       Show this text
 ";
 
@@ -365,11 +379,14 @@ fn check_csv(path: &Path) -> Result<usize, String> {
 }
 
 /// Telemetry options parsed from the global flags. Telemetry is enabled
-/// iff `--metrics-out` or `--log-format` is given; otherwise every
-/// instrumentation point in the pipeline stays on its disabled fast
-/// path.
+/// iff `--metrics-out`, `--trace-out`, or `--log-format` is given;
+/// otherwise every instrumentation point in the pipeline stays on its
+/// disabled fast path. The event timeline has a second gate on top and
+/// only records when `--trace-out` asks for it.
 struct Telemetry {
     metrics_out: Option<PathBuf>,
+    metrics_format: hpcpower_obs::MetricsFormat,
+    trace_out: Option<PathBuf>,
     log_format: Option<hpcpower_obs::LogFormat>,
     quiet: bool,
 }
@@ -377,26 +394,50 @@ struct Telemetry {
 impl Telemetry {
     fn from_args(args: &Args) -> Result<Option<Self>, String> {
         let metrics_out = args.get("metrics-out").map(PathBuf::from);
+        let metrics_format = args
+            .get("metrics-format")
+            .map(|s| s.parse::<hpcpower_obs::MetricsFormat>())
+            .transpose()?
+            .unwrap_or_default();
+        let trace_out = args.get("trace-out").map(PathBuf::from);
         let log_format = args
             .get("log-format")
             .map(|s| s.parse::<hpcpower_obs::LogFormat>())
             .transpose()?;
-        if metrics_out.is_none() && log_format.is_none() {
+        if metrics_out.is_none() && trace_out.is_none() && log_format.is_none() {
             return Ok(None);
         }
         Ok(Some(Self {
             metrics_out,
+            metrics_format,
+            trace_out,
             log_format,
             quiet: args.has("quiet"),
         }))
     }
 
-    /// Writes the metrics file and/or prints the stderr summary.
+    fn wants_timeline(&self) -> bool {
+        self.trace_out.is_some()
+    }
+
+    /// Writes the metrics/trace files and/or prints the stderr summary.
     fn emit(&self) -> Result<(), String> {
         let snap = hpcpower_obs::snapshot();
         if let Some(path) = &self.metrics_out {
-            std::fs::write(path, snap.to_json())
+            std::fs::write(path, hpcpower_obs::render_metrics(&snap, self.metrics_format))
                 .map_err(|e| format!("cannot write metrics to {}: {e}", path.display()))?;
+        }
+        if let Some(path) = &self.trace_out {
+            let timeline = hpcpower_obs::timeline_snapshot();
+            if timeline.dropped > 0 && !self.quiet {
+                eprintln!(
+                    "warning: timeline ring wrapped, {} oldest events dropped \
+                     (raise HPCPOWER_OBS_TIMELINE_CAPACITY to keep more)",
+                    timeline.dropped
+                );
+            }
+            std::fs::write(path, hpcpower_obs::export::chrome_trace(&timeline))
+                .map_err(|e| format!("cannot write trace to {}: {e}", path.display()))?;
         }
         if let Some(fmt) = self.log_format {
             if !self.quiet {
@@ -410,8 +451,11 @@ impl Telemetry {
 fn main() {
     let args = Args::from_env().unwrap_or_else(|e| fail(e));
     let telemetry = Telemetry::from_args(&args).unwrap_or_else(|e| fail(e));
-    if telemetry.is_some() {
+    if let Some(t) = &telemetry {
         hpcpower_obs::enable();
+        if t.wants_timeline() {
+            hpcpower_obs::enable_timeline();
+        }
     }
     // The command span closes before `emit` snapshots the registry, so
     // the top-level timing ("analyze", "simulate", ...) is included.
@@ -422,6 +466,7 @@ fn main() {
         Some("compare") => hpcpower_obs::time("compare", || cmd_compare(&args)),
         Some("predict") => hpcpower_obs::time("predict", || cmd_predict(&args)),
         Some("powercap") => hpcpower_obs::time("powercap", || cmd_powercap(&args)),
+        Some("bench") => benchdiff::cmd_bench(&args),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())

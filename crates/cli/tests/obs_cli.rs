@@ -149,6 +149,120 @@ fn log_format_prints_summary_to_stderr_and_quiet_suppresses_it() {
     assert_eq!(noisy.stdout, quiet.stdout, "--quiet must not touch stdout");
 }
 
+#[test]
+fn trace_out_leaves_dataset_bytes_identical_and_writes_a_valid_chrome_trace() {
+    let dir = tempdir("obs-cli-trace");
+    let plain = simulate(&dir, "plain", &[]);
+    let trace_path = dir.join("trace.json");
+    let trace_str = trace_path.to_str().unwrap().to_string();
+    let traced = simulate(&dir, "traced", &["--trace-out", &trace_str]);
+    assert_eq!(
+        plain, traced,
+        "--trace-out must not change the dataset bytes"
+    );
+
+    let doc = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let trace: serde_json::Value = serde_json::parse(&doc).expect("chrome trace parses as JSON");
+    let events = lookup(&trace, "traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace must contain span events");
+
+    // Balanced, properly nested B/E per tid — what the trace viewer
+    // requires — and the simulate span must be among them.
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+    let mut saw_simulate = false;
+    for ev in events {
+        let name = lookup(ev, "name").and_then(|v| v.as_str()).expect("event name");
+        let ph = lookup(ev, "ph").and_then(|v| v.as_str()).expect("event phase");
+        let tid = lookup(ev, "tid").and_then(|v| v.as_u64()).expect("event tid");
+        saw_simulate |= name == "simulate";
+        let stack = stacks.entry(tid).or_default();
+        match ph {
+            "B" => stack.push(name.to_string()),
+            "E" => {
+                let open = stack.pop().unwrap_or_else(|| panic!("unbalanced E {name:?}"));
+                assert_eq!(open, name, "E must close the innermost B on tid {tid}");
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(stacks.values().all(Vec::is_empty), "all spans must be closed");
+    assert!(saw_simulate, "simulate span must appear in the trace");
+}
+
+#[test]
+fn metrics_format_prom_writes_a_lint_clean_exposition() {
+    let dir = tempdir("obs-cli-prom");
+    let metrics_path = dir.join("metrics.prom");
+    let metrics_str = metrics_path.to_str().unwrap().to_string();
+    simulate(
+        &dir,
+        "trace",
+        &["--metrics-out", &metrics_str, "--metrics-format", "prom"],
+    );
+    let text = std::fs::read_to_string(&metrics_path).expect("prom file written");
+    hpcpower_obs::export::lint_prometheus(&text)
+        .unwrap_or_else(|e| panic!("exposition failed linting: {e}\n---\n{text}"));
+    assert!(text.contains("# TYPE sim_jobs_placed_total counter"));
+    assert!(text.contains("# TYPE simulate_cmd_seconds summary"));
+}
+
+#[test]
+fn bench_diff_gates_on_synthetic_regression() {
+    let dir = tempdir("obs-cli-benchdiff");
+    let hist = dir.join("bench.json");
+    // Baseline 10s -> latest 13s parallel wall: a 30% regression.
+    std::fs::write(
+        &hist,
+        r#"{"runs":[
+  {"git_sha":"aaaaaaa","date":"2026-08-01",
+   "serial":{"wall_s":20.0},"parallel":{"wall_s":10.0},"speedup":2.0},
+  {"git_sha":"bbbbbbb","date":"2026-08-02",
+   "serial":{"wall_s":20.5},"parallel":{"wall_s":13.0},"speedup":1.58}
+]}"#,
+    )
+    .expect("write history");
+    let hist_str = hist.to_str().unwrap().to_string();
+
+    // Informational diff: exits 0 even though the trajectory regressed.
+    let plain = run(&["bench", "diff", "--bench", &hist_str]);
+    let stdout = String::from_utf8_lossy(&plain.stdout);
+    assert!(stdout.contains("parallel.wall_s"), "table lists the gate metric");
+    assert!(stdout.contains("+30.0%"), "delta is computed: {stdout}");
+
+    // Gated at 20%: the 30% regression must exit non-zero (code 3).
+    let gated = Command::new(bin())
+        .args(["bench", "diff", "--bench", &hist_str, "--fail-on-regress", "20"])
+        .output()
+        .expect("spawn hpcpower");
+    assert_eq!(
+        gated.status.code(),
+        Some(3),
+        "regression past the threshold must exit 3:\n{}",
+        String::from_utf8_lossy(&gated.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&gated.stderr).contains("REGRESSION"),
+        "failure names the regression"
+    );
+
+    // Gated at 50%: within budget, exits 0.
+    run(&["bench", "diff", "--bench", &hist_str, "--fail-on-regress", "50"]);
+
+    // And the repository's own committed history must pass the gate the
+    // way tier1.sh runs it.
+    let repo_hist = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    if repo_hist.exists() {
+        run(&[
+            "bench",
+            "diff",
+            "--bench",
+            repo_hist.to_str().unwrap(),
+        ]);
+    }
+}
+
 /// A per-test scratch directory under the target tmpdir.
 fn tempdir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("hpcpower-{tag}-{}", std::process::id()));

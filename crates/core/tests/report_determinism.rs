@@ -38,8 +38,9 @@ fn pair_report_identical_across_thread_counts() {
 }
 
 /// Observability must only *observe*: the text and JSON reports are
-/// byte-identical with telemetry enabled or disabled, at 1 and 4
-/// threads, while the registry fills with per-section timings.
+/// byte-identical with telemetry — including the span event timeline —
+/// enabled or disabled, at 1 and 4 threads, while the registry fills
+/// with per-section timings and the timeline with span events.
 ///
 /// The baselines render before `enable()` and the test never calls
 /// `reset()`/`disable()`; the sibling tests only compare outputs with
@@ -53,6 +54,7 @@ fn telemetry_does_not_change_report_bytes() {
         serde_json::to_string(&with_threads(1, || json_report::build(&dataset, &cfg)))
             .expect("serializes");
     hpcpower_obs::enable();
+    hpcpower_obs::enable_timeline();
     for threads in [1, 4] {
         let text = with_threads(threads, || report::render_full(&dataset, &cfg));
         assert_eq!(
@@ -83,6 +85,14 @@ fn telemetry_does_not_change_report_bytes() {
     // The dataset index was warmed by the disabled baseline render, so
     // every enabled-phase access is a memoization hit.
     assert!(snap.counter("trace.index.hits").unwrap_or(0) > 0);
+    let timeline = hpcpower_obs::timeline_snapshot();
+    assert!(
+        timeline
+            .events
+            .iter()
+            .any(|e| e.name == "report.render"),
+        "timeline must carry the report.render span events"
+    );
 }
 
 #[test]

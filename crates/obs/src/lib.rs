@@ -4,28 +4,39 @@
 //! (the workspace is offline, so no `tracing`/`metrics` dependency):
 //!
 //! - **Spans** — [`span!`] opens an RAII guard that times a region of
-//!   code and folds `(count, total, min, max)` per span name into the
-//!   global registry on drop. Spans nest (a thread-local stack records
-//!   the parent) and aggregate safely across rayon workers: any thread
-//!   may open any span at any time.
+//!   code and folds `(count, total, min, max)` plus a log-bucketed
+//!   duration histogram per span name into the global registry on drop.
+//!   Spans nest (a thread-local stack records the parent) and aggregate
+//!   safely across rayon workers: any thread may open any span at any
+//!   time.
 //! - **Metrics registry** — monotonic [counters](Registry::counter_add),
-//!   [gauges](Registry::gauge_set), and fixed-bucket
-//!   [histograms](Registry::histogram_record) whose moment statistics
-//!   ride on the [`hpcpower_stats`] Welford [`Summary`] accumulator.
+//!   [gauges](Registry::gauge_set), and log-bucketed quantile
+//!   [histograms](Registry::histogram_record) (HDR-style, ~2
+//!   significant digits; see [`Histogram`] for the documented
+//!   relative-error bound) whose exact moment statistics ride on the
+//!   [`hpcpower_stats`] Welford [`Summary`] accumulator.
+//! - **Timeline** — an opt-in bounded, lock-sharded ring buffer of
+//!   individual span begin/end events ([`timeline`]), exportable as
+//!   Chrome trace-event JSON ([`export::chrome_trace`]) for Perfetto /
+//!   `chrome://tracing`.
 //! - **Sinks** — a [`Snapshot`] of the registry renders as a
-//!   human-readable text table, as JSON-lines (one metric per line), or
-//!   as a single JSON document for `--metrics-out` files; the format is
-//!   selected at runtime ([`LogFormat`]).
+//!   human-readable text table, as JSON-lines (one metric per line), as
+//!   a single JSON document for `--metrics-out` files, or as Prometheus
+//!   text exposition v0.0.4 ([`export::prometheus`]); the format is
+//!   selected at runtime ([`LogFormat`], [`MetricsFormat`]).
 //!
 //! ## Overhead contract
 //!
 //! Telemetry is **off by default** and off-cheap: every entry point
 //! checks one relaxed atomic load and returns immediately when
-//! disabled — no locks, no allocation, no clock reads. When enabled,
-//! instrumentation only *observes* (clock reads, counter folds); it
-//! never participates in pipeline computation, so report and dataset
-//! bytes are identical with observability on or off, at any thread
-//! count. `crates/sim/tests/determinism.rs` and
+//! disabled — no locks, no allocation, no clock reads (asserted by the
+//! timing-ratio test in `tests/overhead.rs`). The timeline has a second
+//! gate on top: span events are only recorded when an exporter asked
+//! for them via [`enable_timeline`]. When enabled, instrumentation only
+//! *observes* (clock reads, counter folds); it never participates in
+//! pipeline computation, so report and dataset bytes are identical with
+//! observability on or off, at any thread count.
+//! `crates/sim/tests/determinism.rs` and
 //! `crates/core/tests/report_determinism.rs` prove the contract.
 //!
 //! ## Usage
@@ -45,19 +56,22 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod export;
 pub mod registry;
 pub mod sink;
 pub mod snapshot;
 pub mod span;
+pub mod timeline;
 
 use std::sync::OnceLock;
 
 use hpcpower_stats::Summary;
 
-pub use registry::{Histogram, Registry, DEFAULT_BUCKETS};
-pub use sink::{render, LogFormat};
+pub use registry::{Histogram, Registry, SUBBUCKETS_PER_OCTAVE};
+pub use sink::{render, render_metrics, LogFormat, MetricsFormat};
 pub use snapshot::{HistogramSnapshot, Snapshot, SpanStats};
 pub use span::SpanGuard;
+pub use timeline::{Timeline, TimelineEvent, TimelineSnapshot};
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
 
@@ -83,9 +97,38 @@ pub fn disable() {
     global().set_enabled(false);
 }
 
-/// Clears every counter, gauge, histogram, and span aggregate.
+/// Whether span begin/end events are being recorded into the global
+/// timeline (default: off; requires [`enable`] too to take effect,
+/// since inert guards record nothing).
+#[inline]
+pub fn timeline_enabled() -> bool {
+    timeline::global_timeline().is_enabled()
+}
+
+/// Turns timeline event recording on (see [`timeline`] for ring sizing
+/// and drop semantics). Call [`enable`] as well: the timeline only sees
+/// spans that are live in the first place.
+pub fn enable_timeline() {
+    timeline::global_timeline().set_enabled(true);
+}
+
+/// Turns timeline event recording off. Events recorded so far are kept
+/// until [`reset`].
+pub fn disable_timeline() {
+    timeline::global_timeline().set_enabled(false);
+}
+
+/// Takes a sorted copy of the global timeline's events plus the
+/// ring-wrap drop count.
+pub fn timeline_snapshot() -> TimelineSnapshot {
+    timeline::global_timeline().snapshot()
+}
+
+/// Clears every counter, gauge, histogram, and span aggregate, plus
+/// the recorded timeline events.
 pub fn reset() {
     global().reset();
+    timeline::global_timeline().reset();
 }
 
 /// Takes a deterministic (name-sorted) snapshot of the registry.
@@ -105,8 +148,8 @@ pub fn gauge_set(name: &str, value: f64) {
     global().gauge_set(name, value);
 }
 
-/// Records `value` into the histogram `name` with the
-/// [`DEFAULT_BUCKETS`] layout (no-op when disabled).
+/// Records `value` into the log-bucketed histogram `name` (no-op when
+/// disabled).
 #[inline]
 pub fn histogram_record(name: &str, value: f64) {
     global().histogram_record(name, value);
@@ -174,10 +217,12 @@ mod tests {
         let snap = snapshot();
         assert_eq!(snap.counter("test.global.counter"), Some(5));
         assert_eq!(snap.gauge("test.global.gauge"), Some(1.5));
+        assert_eq!(snap.histogram("test.global.hist").unwrap().p50, 0.25);
         let inner = snap.span("test.global.inner").expect("inner span recorded");
         assert!(inner.total_ns > 0);
         assert_eq!(inner.parent.as_deref(), Some("test.global.outer"));
         assert!(snap.span("test.global.outer").unwrap().total_ns >= inner.total_ns);
+        assert!(inner.p99_ns >= inner.p50_ns, "quantiles are ordered");
         disable();
     }
 

@@ -8,6 +8,13 @@
 //!
 //! Metrics are keyed by dotted names (`"sim.monitor.samples"`). Maps
 //! are `BTreeMap`s so snapshots iterate in a deterministic order.
+//!
+//! Histograms are **log-bucketed quantile histograms** (HDR-style):
+//! see [`Histogram`] for the bucket layout and the documented
+//! relative-error bound on the quantile estimates. Span aggregates
+//! carry one such histogram of their observed durations, so snapshots
+//! can answer "what is p99 render latency?" and not just "what was the
+//! total".
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -17,52 +24,73 @@ use hpcpower_stats::Summary;
 
 use crate::snapshot::{HistogramSnapshot, Snapshot, SpanStats};
 
-/// Default histogram bucket upper bounds: half-decade exponential
-/// coverage from 1e-3 to 1e6 (units are the caller's — seconds,
-/// samples, jobs...). Values above the last bound land in an implicit
-/// overflow bucket.
-pub const DEFAULT_BUCKETS: [f64; 19] = [
-    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1_000.0, 5_000.0,
-    10_000.0, 50_000.0, 100_000.0, 500_000.0, 1_000_000.0,
-];
+/// Sub-buckets per power of two in [`Histogram`]'s log-bucketed
+/// layout. 128 sub-buckets give adjacent bucket bounds a ratio of
+/// 2^(1/128) ≈ 1.0054 — roughly two significant decimal digits.
+pub const SUBBUCKETS_PER_OCTAVE: u32 = 128;
 
-/// A fixed-bucket histogram with Welford moment statistics.
+/// A log-bucketed quantile histogram with Welford moment statistics.
 ///
-/// Bucket `i` counts values `v <= bounds[i]` (first matching bound);
-/// values above every bound are counted in the overflow bucket. The
-/// attached [`Summary`] provides exact mean/min/max/std-dev regardless
-/// of bucket resolution.
-#[derive(Debug, Clone)]
+/// Positive values land in sparse buckets indexed by
+/// `floor(log2(v) * 128)`: bucket `i` covers `[2^(i/128), 2^((i+1)/128))`,
+/// so adjacent bucket bounds differ by a factor of 2^(1/128) ≈ 0.54%.
+/// Values ≤ 0 are counted in a dedicated zero bucket (telemetry values
+/// are durations and counts, so this is the empty/degenerate case, not
+/// a precision loss). NaNs are ignored.
+///
+/// ## Quantile error bound
+///
+/// [`Histogram::quantile`] returns the geometric midpoint of the bucket
+/// containing the nearest-rank sample, clamped to the exact observed
+/// `[min, max]`. For positive samples the estimate therefore differs
+/// from the exact nearest-rank sample quantile by a relative factor of
+/// at most **2^(1/256) − 1 ≈ 0.28%**, independent of the data's range
+/// or shape. The attached [`Summary`] provides exact
+/// mean/min/max/std-dev regardless of bucket resolution.
+#[derive(Debug, Clone, Default)]
 pub struct Histogram {
-    bounds: Vec<f64>,
-    counts: Vec<u64>,
+    /// Sparse bucket counts keyed by `floor(log2(v) * 128)`.
+    buckets: BTreeMap<i32, u64>,
+    /// Count of values ≤ 0.
+    zero_count: u64,
+    /// Exact running sum of every recorded value.
+    sum: f64,
     summary: Summary,
 }
 
 impl Histogram {
-    /// Creates a histogram with the given strictly increasing upper
-    /// bounds (one overflow bucket is added implicitly).
-    pub fn new(bounds: &[f64]) -> Self {
-        assert!(!bounds.is_empty(), "histogram needs at least one bound");
-        assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]),
-            "histogram bounds must be strictly increasing"
-        );
-        Self {
-            bounds: bounds.to_vec(),
-            counts: vec![0; bounds.len() + 1],
-            summary: Summary::new(),
-        }
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Records one value.
+    /// Sparse bucket index of a positive value.
+    fn index(value: f64) -> i32 {
+        (value.log2() * SUBBUCKETS_PER_OCTAVE as f64).floor() as i32
+    }
+
+    /// Exclusive upper bound of bucket `i`.
+    pub fn bucket_upper_bound(i: i32) -> f64 {
+        ((i + 1) as f64 / SUBBUCKETS_PER_OCTAVE as f64).exp2()
+    }
+
+    /// Geometric midpoint of bucket `i` — the representative value the
+    /// quantile estimator returns for samples in this bucket.
+    fn representative(i: i32) -> f64 {
+        ((i as f64 + 0.5) / SUBBUCKETS_PER_OCTAVE as f64).exp2()
+    }
+
+    /// Records one value (NaNs are ignored).
     pub fn record(&mut self, value: f64) {
-        let idx = self
-            .bounds
-            .iter()
-            .position(|b| value <= *b)
-            .unwrap_or(self.bounds.len());
-        self.counts[idx] += 1;
+        if value.is_nan() {
+            return;
+        }
+        if value > 0.0 {
+            *self.buckets.entry(Self::index(value)).or_insert(0) += 1;
+        } else {
+            self.zero_count += 1;
+        }
+        self.sum += value;
         self.summary.push(value);
     }
 
@@ -71,14 +99,55 @@ impl Histogram {
         self.summary.count()
     }
 
-    /// The bucket upper bounds.
-    pub fn bounds(&self) -> &[f64] {
-        &self.bounds
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
     }
 
-    /// Per-bucket counts; the last entry is the overflow bucket.
-    pub fn counts(&self) -> &[u64] {
-        &self.counts
+    /// Estimated quantile `q in [0, 1]` (nearest-rank; see the type
+    /// docs for the relative-error bound). Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let clamp = |v: f64| v.clamp(self.summary.min(), self.summary.max());
+        // The extreme quantiles are tracked exactly by the Welford
+        // summary, so don't pay the bucket rounding error for them.
+        if q <= 0.0 {
+            return self.summary.min();
+        }
+        if q >= 1.0 {
+            return self.summary.max();
+        }
+        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let mut cum = self.zero_count;
+        if rank <= cum {
+            return clamp(0.0);
+        }
+        for (&i, &c) in &self.buckets {
+            cum += c;
+            if rank <= cum {
+                return clamp(Self::representative(i));
+            }
+        }
+        self.summary.max()
+    }
+
+    /// `(upper_bound, count)` per non-empty bucket in bound order; the
+    /// zero bucket (values ≤ 0) reports bound 0.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len() + 1);
+        if self.zero_count > 0 {
+            out.push((0.0, self.zero_count));
+        }
+        out.extend(
+            self.buckets
+                .iter()
+                .map(|(&i, &c)| (Self::bucket_upper_bound(i), c)),
+        );
+        out
     }
 
     /// The exact moment statistics of everything recorded.
@@ -87,18 +156,17 @@ impl Histogram {
     }
 
     pub(crate) fn to_snapshot(&self) -> HistogramSnapshot {
+        let empty = self.summary.is_empty();
         HistogramSnapshot {
             count: self.summary.count(),
-            mean: if self.summary.is_empty() { 0.0 } else { self.summary.mean() },
-            min: if self.summary.is_empty() { 0.0 } else { self.summary.min() },
-            max: if self.summary.is_empty() { 0.0 } else { self.summary.max() },
-            buckets: self
-                .bounds
-                .iter()
-                .zip(&self.counts)
-                .map(|(b, c)| (*b, *c))
-                .collect(),
-            overflow: *self.counts.last().expect("overflow bucket exists"),
+            sum: self.sum,
+            mean: if empty { 0.0 } else { self.summary.mean() },
+            min: if empty { 0.0 } else { self.summary.min() },
+            max: if empty { 0.0 } else { self.summary.max() },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            buckets: self.buckets(),
         }
     }
 }
@@ -110,6 +178,8 @@ struct SpanAgg {
     min_ns: u64,
     max_ns: u64,
     parent: Option<String>,
+    /// Distribution of observed durations (nanoseconds).
+    durations: Histogram,
 }
 
 /// A telemetry registry: all counters, gauges, histograms, and span
@@ -180,27 +250,13 @@ impl Registry {
         lock(&self.gauges).insert(name.to_string(), value);
     }
 
-    /// Records `value` into histogram `name` with [`DEFAULT_BUCKETS`].
+    /// Records `value` into the log-bucketed histogram `name`.
     pub fn histogram_record(&self, name: &str, value: f64) {
-        self.histogram_record_with(name, &DEFAULT_BUCKETS, value);
-    }
-
-    /// Records `value` into histogram `name`, creating it with the
-    /// given bucket bounds if it does not exist yet (the bounds of an
-    /// existing histogram are kept).
-    pub fn histogram_record_with(&self, name: &str, bounds: &[f64], value: f64) {
         if !self.is_enabled() {
             return;
         }
         let mut hists = lock(&self.histograms);
-        match hists.get_mut(name) {
-            Some(h) => h.record(value),
-            None => {
-                let mut h = Histogram::new(bounds);
-                h.record(value);
-                hists.insert(name.to_string(), h);
-            }
-        }
+        hists.entry(name.to_string()).or_default().record(value);
     }
 
     /// Records many values into histogram `name` under one lock.
@@ -209,9 +265,7 @@ impl Registry {
             return;
         }
         let mut hists = lock(&self.histograms);
-        let h = hists
-            .entry(name.to_string())
-            .or_insert_with(|| Histogram::new(&DEFAULT_BUCKETS));
+        let h = hists.entry(name.to_string()).or_default();
         for v in values {
             h.record(v);
         }
@@ -239,6 +293,7 @@ impl Registry {
         }
         agg.count += 1;
         agg.total_ns += nanos;
+        agg.durations.record(nanos as f64);
     }
 
     /// Clears every metric (the enabled flag is left as is).
@@ -274,6 +329,9 @@ impl Registry {
                             total_ns: a.total_ns,
                             min_ns: a.min_ns,
                             max_ns: a.max_ns,
+                            p50_ns: a.durations.quantile(0.50),
+                            p90_ns: a.durations.quantile(0.90),
+                            p99_ns: a.durations.quantile(0.99),
                             parent: a.parent.clone(),
                         },
                     )
@@ -316,27 +374,65 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_moments() {
-        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        let mut h = Histogram::new();
         for v in [0.5, 2.0, 3.0, 50.0, 1e6] {
             h.record(v);
         }
-        assert_eq!(h.counts(), &[1, 2, 1, 1]);
         assert_eq!(h.count(), 5);
+        assert!((h.sum() - 1_000_055.5).abs() < 1e-6);
         assert!((h.summary().min() - 0.5).abs() < 1e-12);
         assert!((h.summary().max() - 1e6).abs() < 1e-12);
-        let snap = h.to_snapshot();
-        assert_eq!(snap.overflow, 1);
-        assert_eq!(snap.buckets.len(), 3);
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), 5, "five distinct values, five buckets");
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(buckets.iter().map(|(_, c)| c).sum::<u64>(), 5);
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
-    fn histogram_rejects_unsorted_bounds() {
-        let _ = Histogram::new(&[1.0, 1.0]);
+    fn histogram_quantiles_within_documented_bound() {
+        let mut h = Histogram::new();
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        // Nearest-rank exact quantiles of 1..=1000.
+        for (q, exact) in [(0.50, 500.0), (0.90, 900.0), (0.99, 990.0)] {
+            let est = h.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= 0.003,
+                "q={q}: est {est} vs exact {exact} (rel err {rel:.5})"
+            );
+        }
+        assert_eq!(h.quantile(0.0), 1.0, "p0 clamps to exact min");
+        assert_eq!(h.quantile(1.0), 1000.0, "p100 clamps to exact max");
     }
 
     #[test]
-    fn span_aggregation_folds_min_max_total() {
+    fn histogram_zero_bucket_and_nan() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(5.0);
+        assert_eq!(h.count(), 3, "NaN is ignored");
+        assert_eq!(h.buckets()[0], (0.0, 2), "zero bucket counts v <= 0");
+        // Rank 1 and 2 are in the zero bucket: representative 0 clamped
+        // into [min, max] = [-3, 5].
+        assert_eq!(h.quantile(0.4), 0.0);
+    }
+
+    #[test]
+    fn histogram_single_value_is_exact() {
+        let mut h = Histogram::new();
+        h.record(4.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 4.0, "clamping makes single value exact");
+        }
+    }
+
+    #[test]
+    fn span_aggregation_folds_min_max_total_and_quantiles() {
         let r = Registry::new();
         r.set_enabled(true);
         r.record_span("stage", None, 10);
@@ -348,6 +444,9 @@ mod tests {
         assert_eq!(s.total_ns, 60);
         assert_eq!(s.min_ns, 10);
         assert_eq!(s.max_ns, 30);
+        // p50 of {10, 20, 30} is the rank-2 sample (20) within 0.3%.
+        assert!((s.p50_ns - 20.0).abs() / 20.0 <= 0.003, "p50 {}", s.p50_ns);
+        assert!((s.p99_ns - 30.0).abs() / 30.0 <= 0.003, "p99 {}", s.p99_ns);
     }
 
     #[test]

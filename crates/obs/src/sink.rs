@@ -41,6 +41,38 @@ pub fn render(snapshot: &Snapshot, format: LogFormat) -> String {
     }
 }
 
+/// Output format for `--metrics-out` metric files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// Single JSON document ([`Snapshot::to_json`]).
+    #[default]
+    Json,
+    /// Prometheus text exposition v0.0.4 ([`crate::export::prometheus`]).
+    Prom,
+}
+
+impl FromStr for MetricsFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "json" => Ok(MetricsFormat::Json),
+            "prom" | "prometheus" => Ok(MetricsFormat::Prom),
+            other => Err(format!(
+                "unknown metrics format '{other}' (expected 'json' or 'prom')"
+            )),
+        }
+    }
+}
+
+/// Renders the metrics-file form of a snapshot in the given format.
+pub fn render_metrics(snapshot: &Snapshot, format: MetricsFormat) -> String {
+    match format {
+        MetricsFormat::Json => snapshot.to_json(),
+        MetricsFormat::Prom => crate::export::prometheus(snapshot),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,6 +84,17 @@ mod tests {
         assert_eq!("json".parse::<LogFormat>().unwrap(), LogFormat::Jsonl);
         assert_eq!("jsonl".parse::<LogFormat>().unwrap(), LogFormat::Jsonl);
         assert!("yaml".parse::<LogFormat>().is_err());
+    }
+
+    #[test]
+    fn metrics_format_parses_both_spellings() {
+        assert_eq!("json".parse::<MetricsFormat>().unwrap(), MetricsFormat::Json);
+        assert_eq!("prom".parse::<MetricsFormat>().unwrap(), MetricsFormat::Prom);
+        assert_eq!(
+            "prometheus".parse::<MetricsFormat>().unwrap(),
+            MetricsFormat::Prom
+        );
+        assert!("xml".parse::<MetricsFormat>().is_err());
     }
 
     #[test]

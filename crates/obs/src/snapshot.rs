@@ -3,7 +3,8 @@
 //! A [`Snapshot`] owns plain sorted vectors — safe to hold across
 //! further recording, cheap to render. Rendering lives here
 //! (text table, JSON-lines, single JSON document); the runtime format
-//! choice is in [`crate::sink`].
+//! choice is in [`crate::sink`], and the Prometheus exposition form is
+//! in [`crate::export`].
 
 use std::fmt::Write as _;
 
@@ -18,6 +19,13 @@ pub struct SpanStats {
     pub min_ns: u64,
     /// Longest observation, nanoseconds.
     pub max_ns: u64,
+    /// Estimated median duration, nanoseconds (log-bucketed; see
+    /// [`crate::Histogram`] for the error bound).
+    pub p50_ns: f64,
+    /// Estimated 90th-percentile duration, nanoseconds.
+    pub p90_ns: f64,
+    /// Estimated 99th-percentile duration, nanoseconds.
+    pub p99_ns: f64,
     /// Name of the span enclosing the first observation, if any.
     pub parent: Option<String>,
 }
@@ -38,21 +46,28 @@ impl SpanStats {
     }
 }
 
-/// Frozen view of one histogram.
+/// Frozen view of one log-bucketed histogram.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     /// Number of recorded values.
     pub count: u64,
+    /// Exact sum of recorded values.
+    pub sum: f64,
     /// Exact mean (Welford, not bucket-approximated).
     pub mean: f64,
     /// Smallest recorded value.
     pub min: f64,
     /// Largest recorded value.
     pub max: f64,
-    /// `(upper_bound, count)` per bucket, in bound order.
+    /// Estimated median (see [`crate::Histogram`] for the error bound).
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// `(upper_bound, count)` per non-empty bucket, in bound order; a
+    /// leading bound-0 entry counts values ≤ 0.
     pub buckets: Vec<(f64, u64)>,
-    /// Values above the last bound.
-    pub overflow: u64,
 }
 
 /// A deterministic (name-sorted) copy of every metric in a registry.
@@ -62,7 +77,7 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// Last-write-wins gauges.
     pub gauges: Vec<(String, f64)>,
-    /// Fixed-bucket histograms.
+    /// Log-bucketed quantile histograms.
     pub histograms: Vec<(String, HistogramSnapshot)>,
     /// Span aggregates.
     pub spans: Vec<(String, SpanStats)>,
@@ -76,7 +91,7 @@ fn find<'a, T>(items: &'a [(String, T)], name: &str) -> Option<&'a T> {
 }
 
 /// Escapes a string for inclusion in a JSON document.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -97,7 +112,7 @@ fn escape_json(s: &str) -> String {
 /// Writes an f64 as a valid JSON number (non-finite values become 0,
 /// which keeps consumers simple — telemetry never legitimately
 /// produces them).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -162,14 +177,21 @@ impl Snapshot {
             .max()
             .unwrap_or(0);
         if !self.spans.is_empty() {
-            let _ = writeln!(out, "spans ({:>w$} count    total     mean      max)", "", w = name_w.saturating_sub(5));
+            let _ = writeln!(
+                out,
+                "spans ({:>w$} count    total     mean      p50      p99      max)",
+                "",
+                w = name_w.saturating_sub(5)
+            );
             for (name, s) in &self.spans {
                 let _ = writeln!(
                     out,
-                    "  {name:<name_w$} {:>5} {:>9} {:>9} {:>9}",
+                    "  {name:<name_w$} {:>5} {:>9} {:>9} {:>8} {:>8} {:>8}",
                     s.count,
                     human_duration(s.total_secs()),
                     human_duration(s.mean_secs()),
+                    human_duration(s.p50_ns / 1e9),
+                    human_duration(s.p99_ns / 1e9),
                     human_duration(s.max_ns as f64 / 1e9),
                 );
             }
@@ -187,12 +209,12 @@ impl Snapshot {
             }
         }
         if !self.histograms.is_empty() {
-            let _ = writeln!(out, "histograms (count / mean / min / max):");
+            let _ = writeln!(out, "histograms (count / mean / p50 / p90 / p99 / max):");
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<name_w$} {} / {:.3} / {:.3} / {:.3}",
-                    h.count, h.mean, h.min, h.max
+                    "  {name:<name_w$} {} / {:.3} / {:.3} / {:.3} / {:.3} / {:.3}",
+                    h.count, h.mean, h.p50, h.p90, h.p99, h.max
                 );
             }
         }
@@ -244,8 +266,8 @@ impl Snapshot {
     /// {
     ///   "counters": {"sim.monitor.samples": 123, ...},
     ///   "gauges":   {"sim.monitor.budget_used_frac": 0.42, ...},
-    ///   "histograms": {"name": {"count": 3, "mean": ..., "buckets": [...]}},
-    ///   "spans":    {"simulate": {"count": 1, "total_ns": ..., ...}}
+    ///   "histograms": {"name": {"count": 3, "p50": ..., "buckets": [...]}},
+    ///   "spans":    {"simulate": {"count": 1, "total_ns": ..., "p99_ns": ..., ...}}
     /// }
     /// ```
     pub fn to_json(&self) -> String {
@@ -290,11 +312,15 @@ fn span_fields(s: &SpanStats) -> String {
         None => "null".to_string(),
     };
     format!(
-        "\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"total_s\":{},\"parent\":{}",
+        "\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+         \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"total_s\":{},\"parent\":{}",
         s.count,
         s.total_ns,
         s.min_ns,
         s.max_ns,
+        json_f64(s.p50_ns),
+        json_f64(s.p90_ns),
+        json_f64(s.p99_ns),
         json_f64(s.total_secs()),
         parent
     )
@@ -308,12 +334,16 @@ fn histogram_fields(h: &HistogramSnapshot) -> String {
     }
     buckets.push(']');
     format!(
-        "\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"overflow\":{},\"buckets\":{}",
+        "\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"max\":{},\
+         \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":{}",
         h.count,
+        json_f64(h.sum),
         json_f64(h.mean),
         json_f64(h.min),
         json_f64(h.max),
-        h.overflow,
+        json_f64(h.p50),
+        json_f64(h.p90),
+        json_f64(h.p99),
         buckets
     )
 }
@@ -329,7 +359,7 @@ mod tests {
         r.counter_add("b.counter", 7);
         r.counter_add("a.counter", 3);
         r.gauge_set("z.gauge", 0.5);
-        r.histogram_record_with("h.hist", &[1.0, 10.0], 4.0);
+        r.histogram_record("h.hist", 4.0);
         r.record_span("stage.one", None, 1_500_000);
         r.record_span("stage.two", Some("stage.one"), 500_000);
         r
@@ -342,16 +372,20 @@ mod tests {
         assert_eq!(snap.counters[1].0, "b.counter");
         assert_eq!(snap.counter("b.counter"), Some(7));
         assert_eq!(snap.gauge("z.gauge"), Some(0.5));
-        assert_eq!(snap.histogram("h.hist").unwrap().count, 1);
+        let h = snap.histogram("h.hist").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.p50, 4.0, "single value is exact");
+        assert_eq!(h.sum, 4.0);
         let two = snap.span("stage.two").unwrap();
         assert_eq!(two.parent.as_deref(), Some("stage.one"));
         assert!((two.total_secs() - 0.0005).abs() < 1e-12);
+        assert_eq!(two.p50_ns, 500_000.0, "single observation is exact");
     }
 
     #[test]
     fn text_rendering_mentions_every_metric() {
         let text = sample_registry().snapshot().render_text();
-        for needle in ["a.counter", "z.gauge", "h.hist", "stage.one", "stage.two"] {
+        for needle in ["a.counter", "z.gauge", "h.hist", "stage.one", "stage.two", "p99"] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }
@@ -404,6 +438,12 @@ mod tests {
             .and_then(|(_, v)| v.as_u64())
             .unwrap();
         assert_eq!(total, 1_500_000);
+        let p99 = one
+            .iter()
+            .find(|(k, _)| k == "p99_ns")
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap();
+        assert_eq!(p99, 1_500_000.0, "single observation is exact");
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! RAII timing spans with same-thread nesting.
 //!
 //! [`SpanGuard::enter`] (usually via the [`crate::span!`] macro) starts
-//! the clock and pushes the span name onto a thread-local stack; the
-//! guard's `Drop` pops the stack and folds the elapsed time into the
-//! global registry, recording the enclosing span (if any) as parent.
+//! the clock and pushes the span onto a thread-local stack; the guard's
+//! `Drop` pops the stack and folds the elapsed time into the global
+//! registry, recording the enclosing span (if any) as parent.
+//!
+//! Every live span also carries a process-unique id. When the event
+//! timeline is enabled (see [`crate::timeline`]), entering and dropping
+//! a guard records individual Begin/End events carrying that id and the
+//! parent's — this is what the Chrome trace exporter replays.
 //!
 //! The stack is per thread, so nesting is tracked within a thread only:
 //! a span opened inside a rayon worker closure sees whatever is active
@@ -14,8 +19,16 @@
 use std::cell::RefCell;
 use std::time::Instant;
 
+use crate::timeline::{self, EventKind};
+
+#[derive(Debug)]
+struct StackEntry {
+    name: String,
+    span_id: u64,
+}
+
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<Vec<StackEntry>> = const { RefCell::new(Vec::new()) };
 }
 
 /// An open span. Created by [`SpanGuard::enter`] / [`crate::span!`];
@@ -32,7 +45,9 @@ pub struct SpanGuard {
 #[derive(Debug)]
 struct LiveSpan {
     name: String,
+    span_id: u64,
     parent: Option<String>,
+    parent_id: Option<u64>,
     start: Instant,
 }
 
@@ -42,16 +57,26 @@ impl SpanGuard {
         if !crate::enabled() {
             return SpanGuard { live: None };
         }
-        let parent = SPAN_STACK.with(|s| {
+        let span_id = timeline::next_span_id();
+        let (parent, parent_id) = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
-            let parent = stack.last().cloned();
-            stack.push(name.to_string());
-            parent
+            let parent = stack.last().map(|e| (e.name.clone(), e.span_id));
+            stack.push(StackEntry {
+                name: name.to_string(),
+                span_id,
+            });
+            match parent {
+                Some((name, id)) => (Some(name), Some(id)),
+                None => (None, None),
+            }
         });
+        timeline::global_timeline().record(EventKind::Begin, name, span_id, parent_id);
         SpanGuard {
             live: Some(LiveSpan {
                 name: name.to_string(),
+                span_id,
                 parent,
+                parent_id,
                 start: Instant::now(),
             }),
         }
@@ -60,6 +85,11 @@ impl SpanGuard {
     /// The span name, if the guard is live.
     pub fn name(&self) -> Option<&str> {
         self.live.as_ref().map(|l| l.name.as_str())
+    }
+
+    /// The process-unique span id, if the guard is live.
+    pub fn span_id(&self) -> Option<u64> {
+        self.live.as_ref().map(|l| l.span_id)
     }
 }
 
@@ -74,12 +104,18 @@ impl Drop for SpanGuard {
             // Guards drop in LIFO order within a thread, so the top of
             // the stack is this span; pop defensively anyway in case a
             // guard was moved across an unwind boundary.
-            if stack.last() == Some(&live.name) {
+            if stack.last().is_some_and(|e| e.span_id == live.span_id) {
                 stack.pop();
-            } else if let Some(pos) = stack.iter().rposition(|n| n == &live.name) {
+            } else if let Some(pos) = stack.iter().rposition(|e| e.span_id == live.span_id) {
                 stack.remove(pos);
             }
         });
+        timeline::global_timeline().record(
+            EventKind::End,
+            &live.name,
+            live.span_id,
+            live.parent_id,
+        );
         // Recording is still gated inside the registry: if telemetry
         // was disabled while the span was open, nothing is written.
         crate::global().record_span(&live.name, live.parent.as_deref(), elapsed_ns);

@@ -1,0 +1,84 @@
+//! Overhead contract: with telemetry disabled (the default), every
+//! instrumentation entry point must cost one relaxed atomic load and
+//! an early return — close enough to free that instrumented hot loops
+//! need no `cfg`-gating.
+//!
+//! This is a timing test, so the bound is deliberately generous (a
+//! disabled call may cost up to 200x a `black_box` no-op before it
+//! fails); it exists to catch *structural* regressions — someone adding
+//! an allocation, lock, or clock read in front of the enabled check —
+//! which show up as 1000x-plus ratios, not to benchmark.
+//!
+//! This file is its own test binary: nothing here (or in the harness)
+//! enables the global registry, so the disabled fast path is what runs.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const ITERS: u64 = 200_000;
+const TRIALS: usize = 7;
+const MAX_RATIO: f64 = 200.0;
+
+/// Best-of-`TRIALS` wall time of `ITERS` calls to `f` — the minimum is
+/// the least noisy estimator on a shared machine.
+fn best_time(mut f: impl FnMut(u64)) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..TRIALS {
+        let t0 = Instant::now();
+        for i in 0..ITERS {
+            f(i);
+        }
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn per_op_ns(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e9 / ITERS as f64
+}
+
+#[test]
+fn disabled_instrumentation_is_nearly_free() {
+    assert!(
+        !hpcpower_obs::enabled(),
+        "telemetry must be off by default for this test to measure the disabled path"
+    );
+
+    // Floor the baseline at 0.05 ns/op: a black_box no-op loop can be
+    // reduced further than any real call ever will be, and a zero
+    // denominator would make the ratio meaningless.
+    let noop = per_op_ns(best_time(|i| {
+        black_box(i);
+    }))
+    .max(0.05);
+    let counter = per_op_ns(best_time(|i| {
+        hpcpower_obs::counter_add("overhead.disabled.counter", black_box(i) & 1);
+    }));
+    let span = per_op_ns(best_time(|i| {
+        let _g = hpcpower_obs::span!("overhead.disabled.span");
+        black_box(i);
+    }));
+    let histogram = per_op_ns(best_time(|i| {
+        hpcpower_obs::histogram_record("overhead.disabled.hist", black_box(i) as f64);
+    }));
+
+    eprintln!(
+        "disabled overhead: noop {noop:.2} ns/op, counter {counter:.2}, \
+         span {span:.2}, histogram {histogram:.2}"
+    );
+    for (what, cost) in [("counter_add", counter), ("span!", span), ("histogram_record", histogram)]
+    {
+        let ratio = cost / noop;
+        assert!(
+            ratio <= MAX_RATIO,
+            "disabled {what} costs {cost:.2} ns/op = {ratio:.0}x a no-op \
+             (bound {MAX_RATIO}x); did the fast path grow a lock/alloc/clock read?"
+        );
+    }
+
+    // And the disabled calls must have recorded nothing.
+    let snap = hpcpower_obs::snapshot();
+    assert_eq!(snap.counter("overhead.disabled.counter"), None);
+    assert!(snap.span("overhead.disabled.span").is_none());
+    assert!(snap.histogram("overhead.disabled.hist").is_none());
+}

@@ -1,0 +1,107 @@
+//! Property tests for the log-bucketed quantile histogram's documented
+//! accuracy bound.
+//!
+//! [`hpcpower_obs::Histogram`] documents that any quantile estimate of
+//! positive samples is within a relative factor of `2^(1/256) - 1`
+//! (~0.272%) of the exact nearest-rank sample quantile. These
+//! properties drive that claim with three sample shapes:
+//!
+//! - **uniform** — dense, every bucket lightly filled;
+//! - **log-normal** — heavy right tail spanning many octaves, the
+//!   distribution power samples actually follow;
+//! - **adversarial two-point** — all mass on two values many orders of
+//!   magnitude apart, so a rank falling just past the boundary must
+//!   snap to the far value with no in-between buckets to hide in.
+
+use hpcpower_obs::Histogram;
+use proptest::prelude::*;
+
+/// Documented bound with float-comparison headroom: 2^(1/256)-1 plus
+/// a hair.
+const REL_BOUND: f64 = 0.0028;
+
+const QS: [f64; 5] = [0.25, 0.5, 0.9, 0.99, 1.0];
+
+/// Exact nearest-rank quantile of a sample (the definition the
+/// histogram approximates).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if q <= 0.0 {
+        return sorted[0];
+    }
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+fn assert_within_bound(values: Vec<f64>, shape: &str) -> Result<(), TestCaseError> {
+    let mut h = Histogram::default();
+    for &v in &values {
+        h.record(v);
+    }
+    let mut sorted = values;
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for q in QS {
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q);
+        let rel = (est - exact).abs() / exact;
+        prop_assert!(
+            rel <= REL_BOUND,
+            "{shape}: q={q} exact={exact} est={est} rel_err={rel:.5} > {REL_BOUND}"
+        );
+    }
+    Ok(())
+}
+
+/// splitmix64 — the test's own deterministic RNG, independent of the
+/// histogram under test.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_open(state: &mut u64) -> f64 {
+    // (0, 1): never 0, so ln() below is finite.
+    ((splitmix64(state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn uniform_samples_within_bound(seed in 0u64..1_000_000, n in 100usize..2_000) {
+        let mut state = seed;
+        let values: Vec<f64> = (0..n).map(|_| 1.0 + 999.0 * unit_open(&mut state)).collect();
+        assert_within_bound(values, "uniform")?;
+    }
+
+    #[test]
+    fn log_normal_samples_within_bound(seed in 0u64..1_000_000, n in 100usize..2_000) {
+        let mut state = seed;
+        let values: Vec<f64> = (0..n)
+            .map(|_| {
+                // Box-Muller; sigma 2 spans ~5 decades of power draw.
+                let (u1, u2) = (unit_open(&mut state), unit_open(&mut state));
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (2.0 * z).exp() * 250.0
+            })
+            .collect();
+        assert_within_bound(values, "log-normal")?;
+    }
+
+    #[test]
+    fn adversarial_two_point_within_bound(
+        lo_exp in -3i32..3,
+        hi_exp in 4i32..9,
+        n_lo in 1usize..500,
+        n_hi in 1usize..500,
+    ) {
+        let lo = 10f64.powi(lo_exp);
+        let hi = 10f64.powi(hi_exp);
+        let mut values = vec![lo; n_lo];
+        values.extend(std::iter::repeat_n(hi, n_hi));
+        assert_within_bound(values, "two-point")?;
+    }
+}

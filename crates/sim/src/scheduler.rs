@@ -249,6 +249,11 @@ pub fn schedule_with_policy(
         hpcpower_obs::counter_add("sim.sched.rejected", rejected.len() as u64);
         hpcpower_obs::gauge_set("sim.sched.max_queue_depth", max_queue_depth as f64);
         hpcpower_obs::histogram_record_many("sim.sched.queue_depth", queue_depths);
+        hpcpower_obs::histogram_record_many(
+            "sim.sched.wait_min",
+            jobs.iter()
+                .map(|j| (j.start_min - j.request.submit_min) as f64),
+        );
     }
     ScheduleOutcome { jobs, rejected }
 }

@@ -28,9 +28,10 @@ fn simulate_is_byte_identical_across_thread_counts() {
     }
 }
 
-/// Observability must only *observe*: with telemetry enabled, the
-/// simulator emits byte-identical datasets at any thread count, while
-/// the registry fills with nonzero pipeline measurements.
+/// Observability must only *observe*: with telemetry — including the
+/// span event timeline — enabled, the simulator emits byte-identical
+/// datasets at any thread count, while the registry fills with nonzero
+/// pipeline measurements and the timeline with span events.
 ///
 /// The baseline runs before `enable()` and the test never calls
 /// `reset()`/`disable()`, so it composes safely with the other tests in
@@ -39,6 +40,7 @@ fn simulate_is_byte_identical_across_thread_counts() {
 fn telemetry_does_not_change_dataset_bytes() {
     let baseline = dataset_json(1);
     hpcpower_obs::enable();
+    hpcpower_obs::enable_timeline();
     for threads in [1, 4] {
         assert_eq!(
             baseline,
@@ -46,6 +48,11 @@ fn telemetry_does_not_change_dataset_bytes() {
             "telemetry changed dataset bytes at {threads} threads"
         );
     }
+    let timeline = hpcpower_obs::timeline_snapshot();
+    assert!(
+        !timeline.events.is_empty(),
+        "timeline must have recorded span events"
+    );
     let snap = hpcpower_obs::snapshot();
     let sim_span = snap.span("simulate").expect("simulate span recorded");
     assert!(sim_span.total_ns > 0, "simulate span must have nonzero time");
@@ -68,6 +75,9 @@ fn telemetry_does_not_change_dataset_bytes() {
     );
     let depth = snap.histogram("sim.sched.queue_depth").expect("queue-depth histogram");
     assert!(depth.count > 0);
+    let wait = snap.histogram("sim.sched.wait_min").expect("wait-time histogram");
+    assert!(wait.count > 0, "every placed job records a wait time");
+    assert!(wait.p99 >= wait.p50, "wait quantiles are ordered");
 }
 
 #[test]

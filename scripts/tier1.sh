@@ -38,6 +38,52 @@ else
     echo "obs smoke: metrics JSON contains required keys (python3 unavailable)"
 fi
 
+# Exporter smoke: the same run with --trace-out must emit a balanced
+# Chrome trace, and --metrics-format prom a lint-clean Prometheus
+# exposition.
+./target/release/hpcpower simulate --system emmy --seed 3 \
+    --nodes 24 --days 2 --users 10 --quiet \
+    --out "$SMOKE_DIR/trace2" --trace-out "$SMOKE_DIR/trace.json" \
+    --metrics-out "$SMOKE_DIR/metrics.prom" --metrics-format prom
+cmp -s "$SMOKE_DIR/trace/dataset.json" "$SMOKE_DIR/trace2/dataset.json" \
+    || { echo "obs smoke: exporters changed dataset bytes" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SMOKE_DIR/trace.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    t = json.load(f)
+events = t["traceEvents"]
+assert events, "empty trace"
+stacks = {}
+for e in events:
+    assert e["ph"] in ("B", "E"), f"unexpected phase {e['ph']}"
+    s = stacks.setdefault(e["tid"], [])
+    if e["ph"] == "B":
+        s.append(e["name"])
+    else:
+        assert s and s.pop() == e["name"], f"unbalanced E {e['name']}"
+assert all(not s for s in stacks.values()), "spans left open"
+assert t["metadata"]["events_unmatched"] == 0
+print(f"obs smoke: chrome trace valid ({len(events)} events)")
+EOF
+else
+    grep -q '"traceEvents"' "$SMOKE_DIR/trace.json"
+    grep -q '"ph":"B"' "$SMOKE_DIR/trace.json"
+    echo "obs smoke: chrome trace present (python3 unavailable)"
+fi
+grep -q '^# TYPE sim_jobs_placed_total counter$' "$SMOKE_DIR/metrics.prom"
+grep -q '^# TYPE simulate_cmd_seconds summary$' "$SMOKE_DIR/metrics.prom"
+echo "obs smoke: prometheus exposition present"
+
+# Perf-regression gate, warn-only: the committed history's runs come
+# from different machines, so a slower CI box must not fail the build —
+# but the diff itself has to parse the history and compute deltas.
+if [ -f BENCH_pipeline.json ]; then
+    ./target/release/hpcpower bench diff --bench BENCH_pipeline.json \
+        --fail-on-regress 20 \
+        || echo "warning: bench diff reported a regression (soft gate, not failing)" >&2
+fi
+
 # Fault-injection smoke: a dirty trace must round-trip through
 # ingest-with-repair and then analyze cleanly, with a data-quality
 # section in both the text and JSON reports.

@@ -124,6 +124,40 @@ pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> &'a Value {
     find(obj, key).unwrap_or(&NULL)
 }
 
+impl crate::Serialize for Value {
+    fn serialize_json(&self, w: &mut Writer) {
+        match self {
+            Value::Null => w.write_null(),
+            Value::Bool(b) => w.write_bool(*b),
+            Value::Num(n) => w.write_f64(*n),
+            Value::Int(i) => w.write_i64(*i),
+            Value::UInt(u) => w.write_u64(*u),
+            Value::Str(s) => w.write_str(s),
+            Value::Array(items) => {
+                w.begin_array();
+                for v in items {
+                    v.serialize_json(w);
+                }
+                w.end_array();
+            }
+            Value::Object(entries) => {
+                w.begin_object();
+                for (k, v) in entries {
+                    w.key(k);
+                    v.serialize_json(w);
+                }
+                w.end_object();
+            }
+        }
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// A JSON (de)serialization error.
 #[derive(Debug, Clone)]
 pub struct Error {
