@@ -131,29 +131,83 @@ fn cmd_diff(args: &Args) -> Result<(), String> {
         }
     }
 
-    // Gate on end-to-end parallel wall time — per-stage noise is
-    // reported above but only the overall pipeline cost fails builds.
-    let gate = [("parallel.wall_s", &["parallel", "wall_s"][..]), ("serial.wall_s", &["serial", "wall_s"][..])]
-        .into_iter()
-        .find_map(|(label, p)| {
-            Some((label, metric(baseline, p)?, metric(latest, p)?))
-        });
-    let Some((gate_label, gate_base, gate_latest)) = gate else {
-        return Err(format!("{path}: runs carry no wall_s gate metric"));
+    // Gate on end-to-end wall time AND the per-stage kernels: a hot-loop
+    // regression can hide inside an otherwise-flat wall_s when another
+    // stage got faster, so simulate_s and analyze_s are first-class gate
+    // metrics, each with a serial-history fallback.
+    let gates: &[(&str, &[&[&str]])] = &[
+        (
+            "wall_s",
+            &[&["parallel", "wall_s"], &["serial", "wall_s"]],
+        ),
+        (
+            "simulate_s",
+            &[
+                &["parallel", "stages", "simulate_s"],
+                &["serial", "stages", "simulate_s"],
+            ],
+        ),
+        (
+            "analyze_s",
+            &[
+                &["parallel", "stages", "analyze_s"],
+                &["serial", "stages", "analyze_s"],
+            ],
+        ),
+    ];
+
+    // Timings from hosts with different core counts are not comparable;
+    // report the diff but never gate across a hardware change.
+    let cores = (
+        metric(baseline, &["cores_available"]),
+        metric(latest, &["cores_available"]),
+    );
+    let comparable_hosts = match cores {
+        (Some(b), Some(l)) => b == l,
+        _ => true, // legacy entries without the field: assume same host
     };
-    let Some(gate_delta) = delta_pct(gate_base, gate_latest) else {
-        println!("\ngate {gate_label}: baseline is 0, delta undefined; not gating");
-        return Ok(());
-    };
-    println!("\ngate {gate_label}: {gate_base:.3}s -> {gate_latest:.3}s ({gate_delta:+.1}%)");
-    if let Some(limit) = fail_pct {
-        if gate_delta > limit {
-            eprintln!(
-                "REGRESSION: {gate_label} {gate_delta:+.1}% exceeds --fail-on-regress {limit}%"
-            );
-            std::process::exit(REGRESS_EXIT);
+
+    let mut gated_any = false;
+    let mut regressed: Vec<String> = Vec::new();
+    println!();
+    for (name, paths) in gates {
+        let Some((label, base, latest_v)) = paths.iter().find_map(|p| {
+            Some((p.join("."), metric(baseline, p)?, metric(latest, p)?))
+        }) else {
+            continue;
+        };
+        gated_any = true;
+        match delta_pct(base, latest_v) {
+            Some(d) => {
+                println!("gate {label}: {base:.3}s -> {latest_v:.3}s ({d:+.1}%)");
+                if let Some(limit) = fail_pct {
+                    if d > limit && comparable_hosts {
+                        regressed.push(format!("{name} ({label}) {d:+.1}% > {limit}%"));
+                    }
+                }
+            }
+            None => println!("gate {label}: baseline is 0, delta undefined; not gating"),
         }
-        println!("within --fail-on-regress {limit}%");
+    }
+    if !gated_any {
+        return Err(format!("{path}: runs carry no gate metrics"));
+    }
+    if let Some(limit) = fail_pct {
+        if !comparable_hosts {
+            let (b, l) = cores;
+            println!(
+                "cores_available changed ({} -> {}); timings not comparable, gate skipped",
+                b.map_or("?".into(), |v| format!("{v}")),
+                l.map_or("?".into(), |v| format!("{v}")),
+            );
+        } else if !regressed.is_empty() {
+            for r in &regressed {
+                eprintln!("REGRESSION: {r}");
+            }
+            std::process::exit(REGRESS_EXIT);
+        } else {
+            println!("all gates within --fail-on-regress {limit}%");
+        }
     }
     Ok(())
 }

@@ -264,6 +264,76 @@ fn bench_diff_gates_on_synthetic_regression() {
 }
 
 /// A per-test scratch directory under the target tmpdir.
+#[test]
+fn bench_diff_gates_per_stage_timings() {
+    let dir = tempdir("obs-cli-benchdiff-stages");
+    let hist = dir.join("bench.json");
+    // Wall time is flat but the simulate kernel regressed 50% — the
+    // per-stage gate must catch what the end-to-end number hides.
+    std::fs::write(
+        &hist,
+        r#"{"runs":[
+  {"git_sha":"aaaaaaa","date":"2026-08-01","cores_available":4,
+   "serial":{"wall_s":10.0,"stages":{"simulate_s":4.0,"analyze_s":3.0}},
+   "parallel":{"wall_s":5.0,"stages":{"simulate_s":2.0,"analyze_s":1.5}}},
+  {"git_sha":"bbbbbbb","date":"2026-08-02","cores_available":4,
+   "serial":{"wall_s":10.1,"stages":{"simulate_s":6.0,"analyze_s":1.0}},
+   "parallel":{"wall_s":5.05,"stages":{"simulate_s":3.0,"analyze_s":0.5}}}
+]}"#,
+    )
+    .expect("write history");
+    let hist_str = hist.to_str().unwrap().to_string();
+
+    let gated = Command::new(bin())
+        .args(["bench", "diff", "--bench", &hist_str, "--fail-on-regress", "20"])
+        .output()
+        .expect("spawn hpcpower");
+    assert_eq!(
+        gated.status.code(),
+        Some(3),
+        "stage regression with flat wall_s must exit 3:\n{}{}",
+        String::from_utf8_lossy(&gated.stdout),
+        String::from_utf8_lossy(&gated.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&gated.stderr);
+    assert!(
+        stderr.contains("simulate_s"),
+        "failure names the regressed stage: {stderr}"
+    );
+    assert!(
+        !stderr.contains("analyze_s"),
+        "improved stage is not flagged: {stderr}"
+    );
+}
+
+#[test]
+fn bench_diff_skips_gate_across_core_count_change() {
+    let dir = tempdir("obs-cli-benchdiff-cores");
+    let hist = dir.join("bench.json");
+    // Latest run came from a smaller host: timings regressed on paper
+    // but the gate must refuse to compare across a hardware change.
+    std::fs::write(
+        &hist,
+        r#"{"runs":[
+  {"git_sha":"aaaaaaa","date":"2026-08-01","cores_available":16,
+   "serial":{"wall_s":10.0,"stages":{"simulate_s":4.0,"analyze_s":3.0}},
+   "parallel":{"wall_s":2.0,"stages":{"simulate_s":0.8,"analyze_s":0.6}}},
+  {"git_sha":"bbbbbbb","date":"2026-08-02","cores_available":1,
+   "serial":{"wall_s":10.1,"stages":{"simulate_s":4.1,"analyze_s":3.0}},
+   "parallel":{"wall_s":9.9,"stages":{"simulate_s":4.0,"analyze_s":2.9}}}
+]}"#,
+    )
+    .expect("write history");
+    let hist_str = hist.to_str().unwrap().to_string();
+
+    let out = run(&["bench", "diff", "--bench", &hist_str, "--fail-on-regress", "10"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("cores_available changed"),
+        "diff explains why the gate was skipped: {stdout}"
+    );
+}
+
 fn tempdir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("hpcpower-{tag}-{}", std::process::id()));
     if dir.exists() {

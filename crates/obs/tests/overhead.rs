@@ -82,3 +82,51 @@ fn disabled_instrumentation_is_nearly_free() {
     assert!(snap.span("overhead.disabled.span").is_none());
     assert!(snap.histogram("overhead.disabled.hist").is_none());
 }
+
+/// The simulate kernel's own metrics ride the same disabled fast path:
+/// with telemetry off, batch counters and the scratch-arena high-water
+/// histogram must stay within the structural overhead bound and leave
+/// no trace in the registry.
+#[test]
+fn disabled_kernel_metrics_cost_nothing() {
+    assert!(
+        !hpcpower_obs::enabled(),
+        "telemetry must be off by default for this test to measure the disabled path"
+    );
+
+    let noop = per_op_ns(best_time(|i| {
+        black_box(i);
+    }))
+    .max(0.05);
+    let batch = per_op_ns(best_time(|i| {
+        hpcpower_obs::counter_add("sim.kernel.batch_jobs", black_box(i) & 0xFF);
+    }));
+    let strides = per_op_ns(best_time(|i| {
+        hpcpower_obs::counter_add("sim.kernel.rng_stride_fills", black_box(i) & 0xFF);
+    }));
+    let arena = per_op_ns(best_time(|i| {
+        hpcpower_obs::histogram_record("sim.kernel.scratch_bytes", black_box(i) as f64);
+    }));
+
+    eprintln!(
+        "disabled kernel metrics: noop {noop:.2} ns/op, batch_jobs {batch:.2}, \
+         rng_stride_fills {strides:.2}, scratch_bytes {arena:.2}"
+    );
+    for (what, cost) in [
+        ("sim.kernel.batch_jobs", batch),
+        ("sim.kernel.rng_stride_fills", strides),
+        ("sim.kernel.scratch_bytes", arena),
+    ] {
+        let ratio = cost / noop;
+        assert!(
+            ratio <= MAX_RATIO,
+            "disabled {what} costs {cost:.2} ns/op = {ratio:.0}x a no-op \
+             (bound {MAX_RATIO}x); did the fast path grow a lock/alloc/clock read?"
+        );
+    }
+
+    let snap = hpcpower_obs::snapshot();
+    assert_eq!(snap.counter("sim.kernel.batch_jobs"), None);
+    assert_eq!(snap.counter("sim.kernel.rng_stride_fills"), None);
+    assert!(snap.histogram("sim.kernel.scratch_bytes").is_none());
+}

@@ -116,9 +116,227 @@ impl SystemAcc {
     }
 }
 
-/// Summarizes one job by streaming over its samples. Also returns the
-/// job's per-minute total power (for the system accumulator) via the
-/// `on_minute` callback: `(absolute_minute, total_power_w, nodes)`.
+/// Reusable per-worker scratch arena for the columnar kernel.
+///
+/// One instance lives per rayon worker (`map_init`) and is reused across
+/// every job the worker materializes, so the steady-state hot loop
+/// performs **zero** heap allocation: buffers only grow to the
+/// high-water mark of the jobs seen so far. Layout per job:
+///
+/// ```text
+/// tf      [minutes]            common temporal factors (per minute)
+/// row     [minutes]            one rank's power row (uninstrumented)
+/// matrix  [nodes * minutes]    full rank-major matrix (instrumented)
+/// minc/maxc [minutes]          per-minute min/max across ranks (n > 1)
+/// ```
+struct KernelScratch {
+    tf: Vec<f64>,
+    row: Vec<f64>,
+    matrix: Vec<f64>,
+    minc: Vec<f64>,
+    maxc: Vec<f64>,
+    job_power: TimeAboveMeanTracker,
+    spread: SpatialSpreadTracker,
+    energies: LaneTotals,
+    /// Largest scratch footprint (bytes) already reported to telemetry.
+    reported_hwm: usize,
+}
+
+impl KernelScratch {
+    fn new(model: &PowerModel) -> Self {
+        let tdp = model.config().tdp_w;
+        Self {
+            tf: Vec::new(),
+            row: Vec::new(),
+            matrix: Vec::new(),
+            minc: Vec::new(),
+            maxc: Vec::new(),
+            job_power: TimeAboveMeanTracker::new(tdp * 1.05, 0.1),
+            spread: SpatialSpreadTracker::new(tdp * 1.05, 0.1),
+            energies: LaneTotals::new(0),
+            reported_hwm: 0,
+        }
+    }
+
+    /// Current arena footprint in bytes (capacity of the f64 buffers).
+    fn arena_bytes(&self) -> usize {
+        (self.tf.capacity()
+            + self.row.capacity()
+            + self.matrix.capacity()
+            + self.minc.capacity()
+            + self.maxc.capacity())
+            * std::mem::size_of::<f64>()
+    }
+}
+
+/// Grows `buf` to `len` (zero-filled) without shrinking its capacity.
+#[inline]
+fn resize_scratch(buf: &mut Vec<f64>, len: usize, fill: f64) {
+    buf.clear();
+    buf.resize(len, fill);
+}
+
+/// Ensures `buf[..len]` is addressable without re-initializing the
+/// prefix — for buffers the kernel fully overwrites before reading
+/// (temporal factors, power rows). Skipping the redundant zero-fill
+/// saves a full write pass over ~70 MB of row data per simulated month.
+#[inline]
+fn grow_scratch(buf: &mut Vec<f64>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
+/// Columnar kernel: summarizes one job in a fused pass over rank-major
+/// power rows generated into the scratch arena. Writes the job's
+/// per-minute total power into `minute_power` (length = job minutes) for
+/// the caller's serial system fold.
+///
+/// Bit-identical to the retained scalar reference (`summarize_job`):
+/// every float is produced by the same expression grouping, and every
+/// accumulator receives the same values in the same order — per-minute
+/// sums add ranks in ascending order, lane energies add minutes in
+/// ascending order, trackers are pushed minute-major (see DESIGN.md,
+/// "Columnar kernel & scratch arenas").
+fn summarize_job_columnar(
+    model: &PowerModel,
+    job: &ScheduledJob,
+    params: &JobPowerParams,
+    keep_series: bool,
+    scratch: &mut KernelScratch,
+    minute_power: &mut [f64],
+    telemetry: bool,
+) -> (JobPowerSummary, Option<JobSeries>) {
+    let n_nodes = job.request.nodes;
+    let n = n_nodes as usize;
+    let minutes = (job.end_min - job.start_min) as u32;
+    let m = minutes as usize;
+    debug_assert_eq!(minute_power.len(), m);
+
+    scratch.job_power.reset();
+    scratch.spread.reset();
+    scratch.energies.reset(n);
+    grow_scratch(&mut scratch.tf, m);
+    if n > 1 {
+        resize_scratch(&mut scratch.minc, m, f64::INFINITY);
+        resize_scratch(&mut scratch.maxc, m, f64::NEG_INFINITY);
+    }
+    if keep_series {
+        grow_scratch(&mut scratch.matrix, n * m);
+    } else {
+        grow_scratch(&mut scratch.row, m);
+    }
+    minute_power.fill(0.0);
+
+    model.fill_temporal_factors(params, &mut scratch.tf[..m]);
+
+    // Rank-major generation: each rank's row is filled in one stride,
+    // then folded into the per-minute columns. Adding rows in ascending
+    // rank order reproduces the scalar path's `minute_sum` additions
+    // exactly (both start from 0.0 and add p(rank 0), p(rank 1), ...).
+    // Lane energies accumulate row-locally in minute order — the same
+    // addition sequence as the scalar path's per-sample `add` calls, and
+    // `0.0 + energy == energy` because every clamped sample is positive.
+    for rank in 0..n_nodes {
+        let node_id = job.node_ids[rank as usize];
+        let pre = model.rank_prefactor(params, node_id, rank);
+        if n == 1 && !keep_series {
+            // Single-node, uninstrumented job: the minute column IS the
+            // row (`0.0 + p == p` for the positive clamped samples), so
+            // generate straight into the output window.
+            model.fill_power_row(params, rank, pre, &scratch.tf[..m], minute_power);
+            let mut energy = 0.0;
+            for &p in minute_power.iter() {
+                energy += p;
+            }
+            scratch.energies.add(0, energy);
+            break;
+        }
+        let row: &mut [f64] = if keep_series {
+            &mut scratch.matrix[rank as usize * m..(rank as usize + 1) * m]
+        } else {
+            &mut scratch.row[..m]
+        };
+        model.fill_power_row(params, rank, pre, &scratch.tf[..m], row);
+        let mut energy = 0.0;
+        if n > 1 {
+            for (((sum, mn), mx), &p) in minute_power
+                .iter_mut()
+                .zip(&mut scratch.minc)
+                .zip(&mut scratch.maxc)
+                .zip(row.iter())
+            {
+                *sum += p;
+                *mn = mn.min(p);
+                *mx = mx.max(p);
+                energy += p;
+            }
+        } else {
+            for (sum, &p) in minute_power.iter_mut().zip(row.iter()) {
+                *sum += p;
+                energy += p;
+            }
+        }
+        scratch.energies.add(rank as usize, energy);
+    }
+
+    // Fused minute-major summarization pass over the columns.
+    let mut total = 0.0;
+    if n > 1 {
+        for ((&minute_sum, &mx), &mn) in
+            minute_power.iter().zip(&scratch.maxc).zip(&scratch.minc)
+        {
+            total += minute_sum;
+            scratch.job_power.push(minute_sum / n_nodes as f64);
+            scratch.spread.push(mx - mn);
+        }
+    } else {
+        for &minute_sum in minute_power.iter() {
+            total += minute_sum;
+            scratch.job_power.push(minute_sum / n_nodes as f64);
+            scratch.spread.push(0.0);
+        }
+    }
+
+    if telemetry {
+        let bytes = scratch.arena_bytes();
+        if bytes > scratch.reported_hwm {
+            scratch.reported_hwm = bytes;
+            hpcpower_obs::histogram_record("sim.kernel.scratch_bytes", bytes as f64);
+        }
+    }
+
+    let summary = JobPowerSummary {
+        id: JobId::from_index(job.request_idx), // re-keyed by the caller
+        per_node_power_w: total / (n_nodes as f64 * minutes as f64),
+        energy_wmin: total,
+        peak_overshoot: scratch.job_power.peak_overshoot().max(0.0),
+        frac_time_above_10pct: scratch.job_power.fraction_above_mean_factor(1.10),
+        temporal_cv: scratch.job_power.temporal_cv(),
+        avg_spatial_spread_w: scratch.spread.average_spread(),
+        frac_time_spread_above_avg: scratch.spread.fraction_above_average(),
+        energy_imbalance: if n_nodes > 1 {
+            scratch.energies.relative_imbalance()
+        } else {
+            0.0
+        },
+    };
+    let series = keep_series.then(|| {
+        JobSeries::from_slice(
+            JobId::from_index(job.request_idx),
+            n_nodes,
+            minutes,
+            &scratch.matrix[..n * m],
+        )
+        .expect("series shape is consistent by construction")
+    });
+    (summary, series)
+}
+
+/// Scalar reference path, retained as the kernel's oracle: summarizes one
+/// job sample-by-sample through [`PowerModel::sample`]. The property
+/// tests assert the columnar kernel reproduces this bit-for-bit.
+#[cfg(test)]
 fn summarize_job(
     model: &PowerModel,
     job: &ScheduledJob,
@@ -187,8 +405,8 @@ fn summarize_job(
 /// never a function of the thread count — so the serial in-order fold of
 /// each batch's minute contributions performs the exact same float
 /// additions in the exact same order regardless of parallelism. Peak
-/// extra memory is one `(minute, power, nodes)` triple per job-minute of
-/// the in-flight batch.
+/// extra memory is one f64 per job-minute of the in-flight batch (the
+/// flat minute-power column) plus each worker's scratch arena.
 const BATCH_JOBS: usize = 256;
 
 /// Runs the monitoring pipeline over all scheduled jobs.
@@ -214,49 +432,98 @@ pub fn monitor(
     let telemetry = hpcpower_obs::enabled();
     let monitor_start = std::time::Instant::now();
 
-    // One materialized job: its summary, optional instrumented series,
-    // and the (minute, power, nodes) stream to fold into the system acc.
-    type JobBatchItem = (JobPowerSummary, Option<JobSeries>, Vec<(u64, f64, u32)>);
-
     let mut acc = SystemAcc::new(horizon);
     let mut summaries = Vec::with_capacity(jobs.len());
     let mut instrumented = Vec::new();
+    // Flat per-batch minute-power column, reused across batches. Workers
+    // write disjoint `split_at_mut` windows of it; the offset table maps
+    // job k of the batch to `batch_power[offsets[k]..offsets[k + 1]]`
+    // (the old code shipped a `Vec<(minute, watts, nodes)>` per job —
+    // minute and nodes are derivable from the job, so only watts remain).
+    let mut batch_power: Vec<f64> = Vec::new();
+    let mut offsets: Vec<usize> = Vec::new();
 
     for batch_start in (0..jobs.len()).step_by(BATCH_JOBS) {
         let batch_end = (batch_start + BATCH_JOBS).min(jobs.len());
-        // Parallel, order-preserving materialization of the batch.
-        let batch: Vec<JobBatchItem> =
-            (batch_start..batch_end)
-                .into_par_iter()
-                .map(|i| {
-                    let job = &jobs[i];
-                    let mut minutes =
-                        Vec::with_capacity((job.end_min - job.start_min) as usize);
-                    let (mut summary, series) = summarize_job(
+        offsets.clear();
+        offsets.push(0);
+        let mut total_minutes = 0usize;
+        for job in &jobs[batch_start..batch_end] {
+            total_minutes += (job.end_min - job.start_min) as usize;
+            offsets.push(total_minutes);
+        }
+        batch_power.clear();
+        batch_power.resize(total_minutes, 0.0);
+
+        // Carve the column into one disjoint window per job.
+        let mut tasks: Vec<(usize, &mut [f64])> = Vec::with_capacity(batch_end - batch_start);
+        let mut rest = batch_power.as_mut_slice();
+        for (k, i) in (batch_start..batch_end).enumerate() {
+            let (window, tail) = rest.split_at_mut(offsets[k + 1] - offsets[k]);
+            tasks.push((i, window));
+            rest = tail;
+        }
+
+        // Parallel, order-preserving materialization of the batch; each
+        // worker allocates one scratch arena and reuses it for every job
+        // in its chunk.
+        let results: Vec<(JobPowerSummary, Option<JobSeries>)> = tasks
+            .into_par_iter()
+            .map_init(
+                || KernelScratch::new(model),
+                |scratch, (i, window)| {
+                    let (mut summary, series) = summarize_job_columnar(
                         model,
-                        job,
+                        &jobs[i],
                         &params[i],
                         instrumented_flags[i],
-                        |minute, power, nodes| minutes.push((minute, power, nodes)),
+                        scratch,
+                        window,
+                        telemetry,
                     );
                     summary.id = JobId::from_index(i);
                     let series = series.map(|mut s| {
                         s.id = JobId::from_index(i);
                         s
                     });
-                    (summary, series, minutes)
-                })
-                .collect();
+                    (summary, series)
+                },
+            )
+            .collect();
+        if telemetry {
+            hpcpower_obs::counter_add("sim.kernel.batch_jobs", (batch_end - batch_start) as u64);
+            // One temporal-factor fill plus one fused noise/flare row per
+            // rank, counted per batch to keep the counter off the per-job
+            // hot path.
+            let stride_fills: u64 = jobs[batch_start..batch_end]
+                .iter()
+                .map(|j| 1 + j.request.nodes as u64)
+                .sum();
+            hpcpower_obs::counter_add("sim.kernel.rng_stride_fills", stride_fills);
+        }
+
         // Serial fold in job order: the only stage where jobs interact.
-        for (summary, series, minutes) in batch {
+        // Addition order is identical to the pre-columnar code — job k's
+        // minutes in ascending order, jobs in input order.
+        for (k, (summary, series)) in results.into_iter().enumerate() {
             summaries.push(summary);
             if let Some(s) = series {
                 instrumented.push(s);
             }
-            for (minute, power, nodes) in minutes {
-                if (minute as usize) < horizon {
-                    acc.power[minute as usize] += power;
-                    acc.active[minute as usize] += nodes as u64;
+            let job = &jobs[batch_start + k];
+            let start = job.start_min as usize;
+            let nodes = job.request.nodes as u64;
+            let column = &batch_power[offsets[k]..offsets[k + 1]];
+            // In-horizon prefix, added in the same minute order as before
+            // — just without a per-minute bounds check.
+            if start < horizon {
+                let end = (start + column.len()).min(horizon);
+                let span = end - start;
+                for (dst, &power) in acc.power[start..end].iter_mut().zip(&column[..span]) {
+                    *dst += power;
+                }
+                for dst in &mut acc.active[start..end] {
+                    *dst += nodes;
                 }
             }
         }
@@ -500,6 +767,129 @@ mod tests {
             s.frac_time_above_10pct
         );
         assert!(s.peak_overshoot > 0.1);
+    }
+
+    /// f64-bit-level summary comparison: a 1-minute job has NaN
+    /// `temporal_cv` on both paths, which `==` would call unequal.
+    fn assert_summary_bits_eq(a: &JobPowerSummary, b: &JobPowerSummary, job: usize) {
+        assert_eq!(a.id, b.id, "id for job {job}");
+        for (field, x, y) in [
+            ("per_node_power_w", a.per_node_power_w, b.per_node_power_w),
+            ("energy_wmin", a.energy_wmin, b.energy_wmin),
+            ("peak_overshoot", a.peak_overshoot, b.peak_overshoot),
+            (
+                "frac_time_above_10pct",
+                a.frac_time_above_10pct,
+                b.frac_time_above_10pct,
+            ),
+            ("temporal_cv", a.temporal_cv, b.temporal_cv),
+            (
+                "avg_spatial_spread_w",
+                a.avg_spatial_spread_w,
+                b.avg_spatial_spread_w,
+            ),
+            (
+                "frac_time_spread_above_avg",
+                a.frac_time_spread_above_avg,
+                b.frac_time_spread_above_avg,
+            ),
+            ("energy_imbalance", a.energy_imbalance, b.energy_imbalance),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{field} for job {job}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn columnar_kernel_matches_scalar_reference_bitwise() {
+        // The production reuse pattern: ONE scratch arena carried across
+        // a mixed bag of jobs (multi-node, single-node, instrumented or
+        // not, bursty and flat, lengths off the phase-block grid), each
+        // compared bit-for-bit against the scalar reference path.
+        let jobs_v = [
+            job(0, 0, 97, 5, 0),
+            job(1, 10, 1, 1, 0),
+            job(2, 3, 240, 8, 0),
+            job(3, 50, 33, 2, 0),
+            job(4, 0, 6, 3, 0),
+        ];
+        let params_v = [
+            flat_params(101, 120.0),
+            flat_params(202, 80.0),
+            JobPowerParams {
+                key: 303,
+                base_w: 150.0,
+                imbalance_sigma: 0.06,
+                spike_frac: 0.3,
+                spike_amp: 0.2,
+                dip_frac: 0.1,
+                dip_amp: 0.15,
+            },
+            flat_params(404, 95.0),
+            flat_params(505, 200.0),
+        ];
+        let keep = [true, false, true, false, true];
+        let no_flare = PowerModelConfig {
+            flare_prob: 0.0,
+            ..Default::default()
+        };
+        for m in [model(), PowerModel::new(no_flare, 7)] {
+            let mut scratch = KernelScratch::new(&m);
+            for (i, job) in jobs_v.iter().enumerate() {
+                let minutes = (job.end_min - job.start_min) as usize;
+                let mut column = vec![0.0; minutes];
+                let (sum_c, ser_c) = summarize_job_columnar(
+                    &m,
+                    job,
+                    &params_v[i],
+                    keep[i],
+                    &mut scratch,
+                    &mut column,
+                    false,
+                );
+                let mut triples = Vec::new();
+                let (sum_s, ser_s) =
+                    summarize_job(&m, job, &params_v[i], keep[i], |minute, power, nodes| {
+                        triples.push((minute, power, nodes))
+                    });
+                assert_summary_bits_eq(&sum_c, &sum_s, i);
+                assert_eq!(ser_c, ser_s, "series for job {i}");
+                assert_eq!(triples.len(), minutes);
+                for (t, (minute, power, nodes)) in triples.into_iter().enumerate() {
+                    assert_eq!(minute, job.start_min + t as u64);
+                    assert_eq!(nodes, job.request.nodes);
+                    assert_eq!(power, column[t], "minute power for job {i} at {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_telemetry_records_no_kernel_metrics() {
+        // Unit tests never enable the obs registry, so a monitor run here
+        // must leave no trace of the kernel metrics — the telemetry-off
+        // hot loop takes the `telemetry == false` branch everywhere.
+        let jobs = vec![job(0, 0, 60, 4, 0), job(1, 5, 40, 2, 0)];
+        let params = vec![flat_params(31, 110.0), flat_params(32, 90.0)];
+        let out = monitor(&model(), &jobs, &params, 100, &[true, false]);
+        assert_eq!(out.summaries.len(), 2);
+        let snap = hpcpower_obs::snapshot();
+        for name in [
+            "sim.kernel.batch_jobs",
+            "sim.kernel.rng_stride_fills",
+            "sim.monitor.samples",
+        ] {
+            assert!(
+                snap.counter(name).is_none(),
+                "{name} recorded with telemetry disabled"
+            );
+        }
+        assert!(
+            !snap
+                .histograms
+                .iter()
+                .any(|(k, _)| k == "sim.kernel.scratch_bytes"),
+            "scratch histogram recorded with telemetry disabled"
+        );
     }
 
     #[test]

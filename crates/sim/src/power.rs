@@ -168,6 +168,113 @@ impl PowerModel {
         self.phase_factor(params, minute) * (1.0 + noise)
     }
 
+    /// Per-(job, rank) invariant prefactor of [`Self::sample`]:
+    /// `base * mfg(node_id) * imb(rank)`. Hoisting it out of the minute
+    /// loop preserves bit-identity because `sample` multiplies
+    /// left-associatively — the first three factors group as
+    /// `((base * mfg) * imb)` with or without the hoist.
+    #[inline]
+    pub fn rank_prefactor(&self, params: &JobPowerParams, node_id: u32, rank: u32) -> f64 {
+        params.base_w * self.node_factor(node_id) * self.imbalance_factor(params, rank)
+    }
+
+    /// Fills `out[t] = temporal_factor(params, t)` for `t` in
+    /// `0..out.len()`, one stride-filled Gaussian draw per minute plus one
+    /// phase evaluation per phase block (job minutes start at 0, so block
+    /// boundaries land on multiples of `phase_block_min`).
+    pub fn fill_temporal_factors(&self, params: &JobPowerParams, out: &mut [f64]) {
+        let key = CounterRng::new(params.key);
+        // Pre-mixed lane: `normal_at(lane ^ t)` == `normal_at2(SALT_COMMON, t)`.
+        let lane = SALT_COMMON.wrapping_mul(0xD134_2543_DE82_EF95);
+        let sigma = self.cfg.common_noise_sigma;
+        let block_len = self.cfg.phase_block_min as usize;
+        let mut start = 0usize;
+        while start < out.len() {
+            let phase = self.phase_factor(params, start as u64);
+            let end = (start + block_len).min(out.len());
+            for (t, v) in out[start..end].iter_mut().enumerate() {
+                // Same grouping as `temporal_factor`: phase * (1 + noise),
+                // drawn and scaled in one fused pass per phase block.
+                let noise = key.normal_at(lane ^ (start + t) as u64).clamp(-4.0, 4.0);
+                *v = phase * (1.0 + noise * sigma);
+            }
+            start = end;
+        }
+    }
+
+    /// Fills `out[t] = sample(params, node_id, rank, t)` for one rank,
+    /// given the precomputed [`Self::rank_prefactor`] `pre` and the
+    /// job's temporal-factor column `tf`. One fused stride over the
+    /// minute axis: the rank's noise lanes are pre-mixed once, and each
+    /// iteration draws noise, applies the flare, and clamps in registers
+    /// — no per-sample keyed-call setup and no intermediate buffers.
+    pub fn fill_power_row(
+        &self,
+        params: &JobPowerParams,
+        rank: u32,
+        pre: f64,
+        tf: &[f64],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(tf.len(), out.len());
+        let key = CounterRng::new(params.key);
+        let lane = SALT_NODE_NOISE ^ ((rank as u64) << 32);
+        // Pre-mixed 2-D lanes: `normal_at2(lane, t)` == `normal_at(nlane ^ t)`
+        // and `f64_at2(lane ^ 0xF1A5, t)` == `f64_at(ulane ^ t)`.
+        let nlane = lane.wrapping_mul(0xD134_2543_DE82_EF95);
+        let ulane = (lane ^ 0xF1A5).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let flares = self.cfg.flare_prob > 0.0;
+        let sigma = self.cfg.node_noise_sigma;
+        let flare_prob = self.cfg.flare_prob;
+        let flare_amp = self.cfg.flare_amp;
+        let idle = self.cfg.idle_w;
+        let tdp = self.cfg.tdp_w;
+        // `f64_at` yields `k * 2^-53` with `k` the top 53 bits, which is
+        // exact, so `u < flare_prob` is equivalent to the integer test
+        // `k < ceil(flare_prob * 2^53)` — the conversion to f64 is then
+        // only paid on the ~1% of samples whose flare actually fires.
+        let flare_bits = (flare_prob * (1u64 << 53) as f64).ceil() as u64;
+        let m = out.len();
+        let mut t = 0usize;
+        // Two independent sample chains per iteration: the Box-Muller
+        // draws of minute t and t+1 share no data, so their libm calls
+        // can overlap in the out-of-order window.
+        while t + 1 < m {
+            let (t0, t1) = (t as u64, (t + 1) as u64);
+            let n0 = key.normal_at(nlane ^ t0).clamp(-4.0, 4.0) * sigma;
+            let n1 = key.normal_at(nlane ^ t1).clamp(-4.0, 4.0) * sigma;
+            let mut nn0 = n0;
+            let mut nn1 = n1;
+            if flares {
+                let k0 = key.u64_at(ulane ^ t0) >> 11;
+                let k1 = key.u64_at(ulane ^ t1) >> 11;
+                if k0 < flare_bits {
+                    let u = k0 as f64 * (1.0 / (1u64 << 53) as f64);
+                    nn0 += flare_amp * (0.5 + 0.5 * (u / flare_prob));
+                }
+                if k1 < flare_bits {
+                    let u = k1 as f64 * (1.0 / (1u64 << 53) as f64);
+                    nn1 += flare_amp * (0.5 + 0.5 * (u / flare_prob));
+                }
+            }
+            out[t] = (pre * tf[t] * (1.0 + nn0)).clamp(idle, tdp);
+            out[t + 1] = (pre * tf[t + 1] * (1.0 + nn1)).clamp(idle, tdp);
+            t += 2;
+        }
+        if t < m {
+            let tu = t as u64;
+            let mut node_noise = key.normal_at(nlane ^ tu).clamp(-4.0, 4.0) * sigma;
+            if flares {
+                let k = key.u64_at(ulane ^ tu) >> 11;
+                if k < flare_bits {
+                    let u = k as f64 * (1.0 / (1u64 << 53) as f64);
+                    node_noise += flare_amp * (0.5 + 0.5 * (u / flare_prob));
+                }
+            }
+            out[t] = (pre * tf[t] * (1.0 + node_noise)).clamp(idle, tdp);
+        }
+    }
+
     /// One RAPL-style sample: power of the `rank`-th node (physical id
     /// `node_id`) of a job at `minute` (minutes since *job start*).
     #[inline]
@@ -280,6 +387,46 @@ mod tests {
         let a = m.sample(&p, 5, 2, 100);
         let b = m.sample(&p, 5, 2, 100);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn columnar_fills_match_scalar_samples_bitwise() {
+        // The columnar kernel must be a pure re-grouping of `sample`:
+        // every filled value bit-identical to the scalar path, across
+        // burst shapes, flare settings, and row lengths that are not
+        // multiples of the phase block.
+        let no_flare = PowerModelConfig {
+            flare_prob: 0.0,
+            ..Default::default()
+        };
+        let cfgs = [PowerModelConfig::default(), no_flare];
+        for cfg in cfgs {
+            for (key, imb) in [(1234u64, 0.05), (987_654_321, 0.0), (42, 0.08)] {
+                let m = PowerModel::new(cfg, 99);
+                let mut p = params(150.0);
+                p.key = key;
+                p.imbalance_sigma = imb;
+                for minutes in [1usize, 5, 97, 360] {
+                    let mut tf = vec![0.0; minutes];
+                    m.fill_temporal_factors(&p, &mut tf);
+                    for (t, &v) in tf.iter().enumerate() {
+                        assert_eq!(v, m.temporal_factor(&p, t as u64), "tf at {t}");
+                    }
+                    let mut row = vec![0.0; minutes];
+                    for (node_id, rank) in [(0u32, 0u32), (17, 3), (1000, 31)] {
+                        let pre = m.rank_prefactor(&p, node_id, rank);
+                        m.fill_power_row(&p, rank, pre, &tf, &mut row);
+                        for (t, &w) in row.iter().enumerate() {
+                            assert_eq!(
+                                w,
+                                m.sample(&p, node_id, rank, t as u64),
+                                "key={key} rank={rank} t={t}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

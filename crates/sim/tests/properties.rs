@@ -33,9 +33,8 @@ proptest! {
         rate in 0.01f64..0.20,
         policy_idx in 0usize..3,
     ) {
-        let dirty = simulate(tiny(seed, rate, 1));
         let policy = POLICIES[policy_idx];
-        let mut repaired = dirty.clone();
+        let mut repaired = simulate(tiny(seed, rate, 1));
         let quality = repair(&mut repaired, &RepairConfig::with_policy(policy));
         prop_assert_eq!(quality.violations_after, 0, "policy {}", policy);
         prop_assert!(

@@ -31,6 +31,13 @@ pub struct TimeAboveMeanTracker {
     resolution: f64,
     max_value: f64,
     summary: Summary,
+    /// Lowest bucket index touched since the last reset. One job's power
+    /// signal spans a narrow band of the full `[0, max_value]` range, so
+    /// bounding resets and threshold scans to `[lo, hi]` turns both from
+    /// O(buckets) into O(band) without changing any result.
+    lo: usize,
+    /// Highest bucket index touched since the last reset.
+    hi: usize,
 }
 
 impl TimeAboveMeanTracker {
@@ -44,6 +51,8 @@ impl TimeAboveMeanTracker {
             resolution,
             max_value,
             summary: Summary::new(),
+            lo: usize::MAX,
+            hi: 0,
         }
     }
 
@@ -55,7 +64,22 @@ impl TimeAboveMeanTracker {
         // `i * resolution` exactly.
         let idx = ((v / self.resolution).round() as usize).min(self.counts.len() - 1);
         self.counts[idx] += 1;
+        self.lo = self.lo.min(idx);
+        self.hi = self.hi.max(idx);
         self.summary.push(v);
+    }
+
+    /// Forgets every recorded sample, keeping the bucket allocation —
+    /// so a scratch-arena tracker can be reused across jobs without
+    /// reallocating its histogram. Only the touched bucket band is
+    /// re-zeroed.
+    pub fn reset(&mut self) {
+        if self.lo <= self.hi {
+            self.counts[self.lo..=self.hi].fill(0);
+        }
+        self.lo = usize::MAX;
+        self.hi = 0;
+        self.summary = Summary::new();
     }
 
     /// Number of samples recorded.
@@ -86,7 +110,10 @@ impl TimeAboveMeanTracker {
         }
         let threshold = self.summary.mean() * factor;
         let mut above = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
+        // Buckets outside [lo, hi] are zero, so scanning only the band
+        // yields the exact same count.
+        for i in self.lo..=self.hi {
+            let c = self.counts[i];
             if c != 0 && i as f64 * self.resolution > threshold {
                 above += c as u64;
             }
@@ -123,6 +150,9 @@ pub struct SpatialSpreadTracker {
     resolution: f64,
     max_value: f64,
     summary: Summary,
+    /// Touched bucket band, as in [`TimeAboveMeanTracker`].
+    lo: usize,
+    hi: usize,
 }
 
 impl SpatialSpreadTracker {
@@ -135,6 +165,8 @@ impl SpatialSpreadTracker {
             resolution,
             max_value,
             summary: Summary::new(),
+            lo: usize::MAX,
+            hi: 0,
         }
     }
 
@@ -144,7 +176,21 @@ impl SpatialSpreadTracker {
         let v = spread.clamp(0.0, self.max_value);
         let idx = ((v / self.resolution).round() as usize).min(self.counts.len() - 1);
         self.counts[idx] += 1;
+        self.lo = self.lo.min(idx);
+        self.hi = self.hi.max(idx);
         self.summary.push(v);
+    }
+
+    /// Forgets every recorded spread, keeping the bucket allocation
+    /// (see [`TimeAboveMeanTracker::reset`]). Only the touched band is
+    /// re-zeroed.
+    pub fn reset(&mut self) {
+        if self.lo <= self.hi {
+            self.counts[self.lo..=self.hi].fill(0);
+        }
+        self.lo = usize::MAX;
+        self.hi = 0;
+        self.summary = Summary::new();
     }
 
     /// Number of timesteps recorded.
@@ -167,7 +213,9 @@ impl SpatialSpreadTracker {
         }
         let threshold = self.summary.mean();
         let mut above = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
+        // Untouched buckets are zero; the band scan is exact.
+        for i in self.lo..=self.hi {
+            let c = self.counts[i];
             if c != 0 && i as f64 * self.resolution > threshold {
                 above += c as u64;
             }
@@ -197,6 +245,13 @@ impl LaneTotals {
     #[inline]
     pub fn add(&mut self, lane: usize, value: f64) {
         self.totals[lane] += value;
+    }
+
+    /// Re-dimensions to `lanes` zeroed lanes, reusing the allocation
+    /// when it is already large enough.
+    pub fn reset(&mut self, lanes: usize) {
+        self.totals.clear();
+        self.totals.resize(lanes, 0.0);
     }
 
     /// Number of lanes.
@@ -294,6 +349,38 @@ mod tests {
         assert!((s.average_spread() - 15.0).abs() < 0.25);
         // Constant signal: no sample is strictly above the mean.
         assert_eq!(s.fraction_above_average(), 0.0);
+    }
+
+    #[test]
+    fn reset_matches_fresh_trackers() {
+        let mut t = TimeAboveMeanTracker::new(250.0, 0.5);
+        let mut s = SpatialSpreadTracker::new(250.0, 0.5);
+        let mut l = LaneTotals::new(4);
+        for i in 0..50 {
+            t.push(100.0 + i as f64);
+            s.push(i as f64);
+            l.add(i % 4, 10.0);
+        }
+        t.reset();
+        s.reset();
+        l.reset(2);
+        assert_eq!(t.count(), 0);
+        assert_eq!(s.count(), 0);
+        assert_eq!(l.lanes(), 2);
+        assert_eq!(l.totals(), &[0.0, 0.0]);
+        // Refilled trackers behave exactly like fresh ones.
+        for _ in 0..90 {
+            t.push(100.0);
+        }
+        for _ in 0..10 {
+            t.push(150.0);
+        }
+        let frac = t.fraction_above_mean_factor(1.10);
+        assert!((frac - 0.10).abs() < 0.005, "frac {frac}");
+        for i in 0..100 {
+            s.push(if i % 2 == 0 { 10.0 } else { 30.0 });
+        }
+        assert!((s.average_spread() - 20.0).abs() < 0.5);
     }
 
     #[test]

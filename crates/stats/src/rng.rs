@@ -185,6 +185,35 @@ impl CounterRng {
     pub fn normal_at2(&self, a: u64, b: u64) -> f64 {
         self.normal_at(a.wrapping_mul(0xD134_2543_DE82_EF95) ^ b)
     }
+
+    /// Fills `out[i] = normal_at2(a, b0 + i)` for the whole slice.
+    ///
+    /// A strided batch of the per-coordinate draws: the values are
+    /// bit-identical to calling [`normal_at2`](Self::normal_at2) once
+    /// per element, but the single tight loop amortizes call overhead
+    /// and keeps the mixing state in registers — the form the columnar
+    /// power kernel uses to fill a whole noise row per (job, node).
+    #[inline]
+    pub fn fill_normal2(&self, a: u64, b0: u64, out: &mut [f64]) {
+        let lane = a.wrapping_mul(0xD134_2543_DE82_EF95);
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = self.normal_at(lane ^ (b0 + i as u64));
+        }
+    }
+
+    /// Fills `out[i] = f64_at2(a, b0 + i)` for the whole slice.
+    ///
+    /// Stride-filled uniforms, bit-identical to the per-coordinate
+    /// [`f64_at2`](Self::f64_at2) calls (see [`fill_normal2`]).
+    ///
+    /// [`fill_normal2`]: Self::fill_normal2
+    #[inline]
+    pub fn fill_f64_at2(&self, a: u64, b0: u64, out: &mut [f64]) {
+        let lane = a.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = self.f64_at(lane ^ (b0 + i as u64));
+        }
+    }
 }
 
 /// Alias-method sampler for discrete distributions (Walker/Vose).
@@ -333,9 +362,25 @@ mod tests {
     fn counter_rng_is_order_independent() {
         let rng = CounterRng::new(99);
         let forward: Vec<f64> = (0..50).map(|i| rng.f64_at(i)).collect();
-        let backward: Vec<f64> = (0..50).rev().map(|i| rng.f64_at(i)).collect();
-        let backward_reversed: Vec<f64> = backward.into_iter().rev().collect();
-        assert_eq!(forward, backward_reversed);
+        // Draw in descending counter order, then reverse in place — the
+        // eager collect is the point: draws must not depend on order.
+        let mut backward: Vec<f64> = (0..50).rev().map(|i| rng.f64_at(i)).collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn stride_fills_match_scalar_draws() {
+        let rng = CounterRng::new(0xBEEF);
+        let mut normals = vec![0.0; 97];
+        let mut uniforms = vec![0.0; 97];
+        rng.fill_normal2(0x434F_4D4D, 5, &mut normals);
+        rng.fill_f64_at2(0x434F_4D4D, 5, &mut uniforms);
+        for (i, (&n, &u)) in normals.iter().zip(&uniforms).enumerate() {
+            let b = 5 + i as u64;
+            assert_eq!(n, rng.normal_at2(0x434F_4D4D, b), "normal at {b}");
+            assert_eq!(u, rng.f64_at2(0x434F_4D4D, b), "uniform at {b}");
+        }
     }
 
     #[test]

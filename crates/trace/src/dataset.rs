@@ -306,8 +306,7 @@ mod tests {
     #[test]
     fn filters_and_aggregates() {
         let d = tiny_dataset();
-        let large: Vec<_> = d.filter_jobs(|r, _| r.nodes >= 2).collect();
-        assert_eq!(large.len(), 2);
+        assert_eq!(d.filter_jobs(|r, _| r.nodes >= 2).count(), 2);
         assert!((d.total_energy_wmin() - 3000.0).abs() < 1e-9);
         assert_eq!(d.duration_min(), 2);
         assert_eq!(d.per_node_powers(), vec![100.0, 110.0, 120.0]);

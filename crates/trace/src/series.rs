@@ -43,6 +43,26 @@ impl JobSeries {
         })
     }
 
+    /// Creates a series by copying a row-major sample slice — the
+    /// zero-surprise way to materialize a series out of a reusable
+    /// scratch arena without giving up the arena's allocation.
+    ///
+    /// Same validation as [`Self::new`].
+    pub fn from_slice(id: JobId, nodes: u32, minutes: u32, samples: &[f64]) -> Option<Self> {
+        if nodes == 0 || minutes == 0 {
+            return None;
+        }
+        if samples.len() != nodes as usize * minutes as usize {
+            return None;
+        }
+        Some(Self {
+            id,
+            nodes,
+            minutes,
+            samples: samples.to_vec(),
+        })
+    }
+
     /// Builds a series by evaluating `f(node, minute)`.
     pub fn from_fn(
         id: JobId,
@@ -221,6 +241,16 @@ mod tests {
         let e = s.node_energies();
         assert_eq!(e, vec![330.0, 285.0]);
         assert!((s.per_node_power() - 615.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_slice_copies_and_validates() {
+        let buf = [100.0, 110.0, 120.0, 90.0, 95.0, 100.0];
+        let s = JobSeries::from_slice(JobId(1), 2, 3, &buf).unwrap();
+        assert_eq!(s, series());
+        assert!(JobSeries::from_slice(JobId(0), 2, 2, &buf[..3]).is_none());
+        assert!(JobSeries::from_slice(JobId(0), 0, 3, &[]).is_none());
+        assert!(JobSeries::from_slice(JobId(0), 2, 0, &[]).is_none());
     }
 
     #[test]

@@ -9,7 +9,8 @@ cd "$(dirname "$0")/.."
 # ./target/release/hpcpower for the smoke runs below.
 cargo build --release --workspace
 cargo test -q --workspace
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings \
+    -D clippy::needless_collect -D clippy::redundant_clone
 
 # Observability smoke: a real CLI run with --metrics-out must emit a
 # parseable metrics document containing the required span timings and
@@ -74,6 +75,11 @@ fi
 grep -q '^# TYPE sim_jobs_placed_total counter$' "$SMOKE_DIR/metrics.prom"
 grep -q '^# TYPE simulate_cmd_seconds summary$' "$SMOKE_DIR/metrics.prom"
 echo "obs smoke: prometheus exposition present"
+
+# Criterion pipeline bench, quick mode: one shortened pass over the
+# end-to-end benches so panics and API rot surface in CI without the
+# full sampling budget. Timings printed here are not gate inputs.
+CRITERION_QUICK=1 cargo bench -q -p hpcpower-bench --bench pipeline
 
 # Perf-regression gate, warn-only: the committed history's runs come
 # from different machines, so a slower CI box must not fail the build —

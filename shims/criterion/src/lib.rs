@@ -41,7 +41,20 @@ pub struct Bencher {
 }
 
 /// Iteration budget: keep each benchmark under roughly this much time.
-const TARGET_TIME: Duration = Duration::from_millis(300);
+/// `CRITERION_QUICK=1` (the shim's stand-in for real criterion's
+/// `--quick` flag) shrinks it so CI can smoke-run every bench for
+/// panics and API rot without paying full sampling time.
+fn target_time() -> Duration {
+    static QUICK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    let quick = *QUICK.get_or_init(|| {
+        std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+    });
+    if quick {
+        Duration::from_millis(10)
+    } else {
+        Duration::from_millis(300)
+    }
+}
 
 impl Bencher {
     fn new() -> Self {
@@ -53,6 +66,7 @@ impl Bencher {
 
     /// Times repeated runs of `f` until the time budget is spent.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let budget = target_time();
         // One untimed warm-up run.
         std::hint::black_box(f());
         let start = Instant::now();
@@ -60,7 +74,7 @@ impl Bencher {
         loop {
             std::hint::black_box(f());
             iters += 1;
-            if start.elapsed() >= TARGET_TIME || iters >= 10_000 {
+            if start.elapsed() >= budget || iters >= 10_000 {
                 break;
             }
         }

@@ -127,9 +127,23 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
+    par_apply_init(items, &|| (), &|(), item| f(item))
+}
+
+/// Like [`par_apply`], but each worker materializes one `init()` state
+/// and threads it mutably through its whole contiguous chunk — the
+/// `map_init` contract real rayon offers for per-worker scratch reuse.
+fn par_apply_init<T, U, S, INIT, F>(items: Vec<T>, init: &INIT, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
     let threads = current_num_threads().min(items.len());
     if threads <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
     }
     // Contiguous chunks, one per worker; results concatenate in chunk
     // order so the output order equals the input order.
@@ -146,7 +160,15 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    chunk
+                        .into_iter()
+                        .map(|item| f(&mut state, item))
+                        .collect::<Vec<U>>()
+                })
+            })
             .collect();
         for handle in handles {
             results.push(handle.join().expect("rayon shim worker panicked"));
@@ -170,6 +192,20 @@ impl<T: Send> ParIter<T> {
     {
         ParIter {
             items: par_apply(self.items, &f),
+        }
+    }
+
+    /// Parallel, order-preserving map with per-worker state: each worker
+    /// calls `init()` once and reuses the state across every item in its
+    /// contiguous chunk, mirroring rayon's `map_init`.
+    pub fn map_init<S, U, INIT, F>(self, init: INIT, f: F) -> ParIter<U>
+    where
+        U: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> U + Sync,
+    {
+        ParIter {
+            items: par_apply_init(self.items, &init, &f),
         }
     }
 
@@ -305,6 +341,43 @@ mod tests {
             inner.install(|| assert_eq!(current_num_threads(), 2));
             assert_eq!(current_num_threads(), 3);
         });
+    }
+
+    #[test]
+    fn map_init_matches_map_and_reuses_state_per_worker() {
+        let serial: Vec<u64> = (0..500u64).into_par_iter().map(|x| x * 7 + 1).collect();
+        for threads in [1, 2, 4] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let out: Vec<u64> = pool.install(|| {
+                (0..500u64)
+                    .into_par_iter()
+                    .map_init(
+                        || vec![0u64; 8],
+                        |scratch, x| {
+                            scratch[0] = x;
+                            scratch[0] * 7 + 1
+                        },
+                    )
+                    .collect()
+            });
+            assert_eq!(serial, out, "threads={threads}");
+        }
+        // At most one init() per worker chunk.
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let _: Vec<u64> = pool.install(|| {
+            (0..100u64)
+                .into_par_iter()
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                    },
+                    |(), x| x,
+                )
+                .collect()
+        });
+        assert!(inits.load(Ordering::Relaxed) <= 4);
     }
 
     #[test]
