@@ -12,6 +12,7 @@
 
 mod args;
 mod benchdiff;
+mod live;
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -50,6 +51,21 @@ GLOBAL FLAGS:
                      JSON object per metric).
   --quiet            Suppress progress and telemetry chatter on stderr
                      (stdout and --metrics-out files are unaffected).
+  --serve ADDR       Serve live telemetry over HTTP while the command
+                     runs (GET /metrics /healthz /snapshot /alerts
+                     /quit). ADDR like 127.0.0.1:9090, or :0 for an
+                     ephemeral port (printed to stderr). Command output
+                     bytes are unaffected.
+  --serve-hold       With --serve: after the command finishes, keep
+                     serving until GET /quit.
+  --sample-interval-ms N  Sampling period of the sliding-window store
+                     behind --serve (default 250).
+  --addr-file PATH   With --serve: write the bound address to PATH.
+  --alert RULES      Alert rules evaluated each sample, e.g.
+                     \"hot:sim.cluster.power_watts>50000@3\" (comma- or
+                     semicolon-separated; rate(...)/burn(...) wrap the
+                     metric for rate-of-change/burn-rate rules).
+  --rules PATH       Alert rules file, one rule per line ('#' comments).
 
 COMMANDS:
   simulate   Generate a calibrated cluster trace and write it to disk
@@ -86,6 +102,25 @@ COMMANDS:
              --data PATH --user U --nodes N --walltime-h H
   powercap   Static power-cap what-if sweep
              --data PATH
+  obs serve  Serve a collected metrics document (or this process's live
+             registry) over HTTP
+             --addr A               bind address (default 127.0.0.1:0)
+             --metrics PATH         replay a --metrics-out JSON document
+                                    (static mode: /metrics is byte-for-
+                                    byte `obs render --format prom`)
+             --interval-ms N        sampling period (default 1000)
+             --alert R | --rules P  alert rules (see global flags)
+             --duration-s S         stop after S seconds (default: wait
+                                    for GET /quit)
+             --addr-file PATH       write the bound address to PATH
+  obs render Re-render a collected metrics JSON document
+             --metrics PATH --format prom|json|text   (default prom)
+  obs lint   Lint a Prometheus text exposition file (exit 2 on error)
+  alerts eval  Replay a metrics JSON (or JSONL, one document per line)
+             through the alert engine; exit 4 if any rule fires
+             --metrics PATH         document(s) to replay (required)
+             --alert R | --rules P  rules (at least one required)
+             --json                 print engine state as JSON
   bench diff Perf-regression gate over the BENCH_pipeline.json history
              --bench PATH           (default BENCH_pipeline.json)
              --baseline N           compare against N runs before the
@@ -457,6 +492,8 @@ fn main() {
             hpcpower_obs::enable_timeline();
         }
     }
+    // Global --serve: live sampler + HTTP endpoint riding the command.
+    let live = live::LiveService::from_args(&args).unwrap_or_else(|e| fail(e));
     // The command span closes before `emit` snapshots the registry, so
     // the top-level timing ("analyze", "simulate", ...) is included.
     let result = match args.command.as_deref() {
@@ -467,12 +504,20 @@ fn main() {
         Some("predict") => hpcpower_obs::time("predict", || cmd_predict(&args)),
         Some("powercap") => hpcpower_obs::time("powercap", || cmd_powercap(&args)),
         Some("bench") => benchdiff::cmd_bench(&args),
+        Some("obs") => live::cmd_obs(&args),
+        Some("alerts") => live::cmd_alerts(&args),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
         }
         Some(other) => Err(format!("unknown command {other:?}")),
     };
+    // The live service ends (and its alert summary prints) before the
+    // telemetry files are written, so they include its meta-metrics.
+    let result = result.and_then(|()| match live {
+        Some(s) => s.finish(),
+        None => Ok(()),
+    });
     let result = result.and_then(|()| match &telemetry {
         Some(t) => t.emit(),
         None => Ok(()),

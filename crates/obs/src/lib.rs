@@ -56,21 +56,30 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod alerts;
 pub mod export;
 pub mod registry;
+pub mod sampler;
+pub mod serve;
 pub mod sink;
 pub mod snapshot;
 pub mod span;
+pub mod store;
 pub mod timeline;
 
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use hpcpower_stats::Summary;
 
+pub use alerts::{AlertEngine, AlertKind, AlertOp, AlertRule, AlertState};
 pub use registry::{Histogram, Registry, SUBBUCKETS_PER_OCTAVE};
+pub use sampler::Sampler;
+pub use serve::{MetricsServer, ServeOptions, ServeState};
 pub use sink::{render, render_metrics, LogFormat, MetricsFormat};
-pub use snapshot::{HistogramSnapshot, Snapshot, SpanStats};
+pub use snapshot::{BuildInfo, HistogramSnapshot, Snapshot, SpanStats};
 pub use span::SpanGuard;
+pub use store::{SamplePoint, WindowSnapshot, WindowStore};
 pub use timeline::{Timeline, TimelineEvent, TimelineSnapshot};
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
@@ -86,8 +95,10 @@ pub fn enabled() -> bool {
     global().is_enabled()
 }
 
-/// Turns telemetry collection on.
+/// Turns telemetry collection on. Also pins the process-uptime epoch
+/// (see [`uptime_seconds`]) if this is the first call.
 pub fn enable() {
+    process_epoch();
     global().set_enabled(true);
 }
 
@@ -124,16 +135,102 @@ pub fn timeline_snapshot() -> TimelineSnapshot {
     timeline::global_timeline().snapshot()
 }
 
-/// Clears every counter, gauge, histogram, and span aggregate, plus
-/// the recorded timeline events.
+/// Whether the periodic sampler's window store accepts samples
+/// (default: off).
+#[inline]
+pub fn sampling_enabled() -> bool {
+    store::global_store().is_enabled()
+}
+
+/// Turns sliding-window sampling on (see [`store`] for ring sizing
+/// and drop semantics). Call [`enable`] as well: the sampler snapshots
+/// the registry, which records nothing while disabled.
+pub fn enable_sampling() {
+    store::global_store().set_enabled(true);
+}
+
+/// Turns sliding-window sampling off. Samples recorded so far are
+/// kept until [`reset`].
+pub fn disable_sampling() {
+    store::global_store().set_enabled(false);
+}
+
+/// Ingests one registry snapshot into the global window store right
+/// now (what a sampler tick does). No-op when sampling is disabled —
+/// the disabled cost is one relaxed atomic load.
+pub fn sample_now() {
+    if !store::global_store().is_enabled() {
+        return;
+    }
+    ingest_sample(&snapshot());
+}
+
+/// Ingests an already-taken snapshot into the global window store at
+/// the current monotonic timestamp. No-op when sampling is disabled.
+pub fn ingest_sample(snap: &Snapshot) {
+    let store = store::global_store();
+    if !store.is_enabled() {
+        return;
+    }
+    store.ingest(snap, timeline::now_ns());
+}
+
+/// Takes a frozen copy of the global window store's series.
+pub fn window_snapshot() -> WindowSnapshot {
+    store::global_store().snapshot()
+}
+
+/// Records the identity baked into the running binary; shows up as
+/// the `hpcpower_build_info` info-gauge in the Prometheus exposition,
+/// a `build_info` section in the JSON document, and Chrome trace
+/// metadata. First caller wins; later calls are ignored.
+pub fn set_build_info(git_sha: &str, version: &str) {
+    let _ = BUILD_INFO.set(BuildInfo {
+        git_sha: git_sha.to_string(),
+        version: version.to_string(),
+    });
+}
+
+/// The build identity recorded by [`set_build_info`], if any.
+pub fn build_info() -> Option<&'static BuildInfo> {
+    BUILD_INFO.get()
+}
+
+static BUILD_INFO: OnceLock<BuildInfo> = OnceLock::new();
+
+static PROCESS_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn process_epoch() -> Instant {
+    *PROCESS_EPOCH.get_or_init(Instant::now)
+}
+
+/// Seconds since telemetry was first enabled (or since the first
+/// uptime query, whichever came first) — the
+/// `obs.process.uptime_seconds` gauge.
+pub fn uptime_seconds() -> f64 {
+    process_epoch().elapsed().as_secs_f64()
+}
+
+/// Clears every counter, gauge, histogram, and span aggregate, the
+/// recorded timeline events, and the window store's series.
 pub fn reset() {
     global().reset();
     timeline::global_timeline().reset();
+    store::global_store().reset();
 }
 
 /// Takes a deterministic (name-sorted) snapshot of the registry.
+///
+/// On top of the raw registry contents, an enabled registry's
+/// snapshot carries the `obs.process.uptime_seconds` gauge and — when
+/// [`set_build_info`] was called — the build identity.
 pub fn snapshot() -> Snapshot {
-    global().snapshot()
+    let mut snap = global().snapshot();
+    if global().is_enabled() {
+        snap.set_gauge("obs.process.uptime_seconds", uptime_seconds());
+    }
+    snap.build_info = build_info().cloned();
+    snap
 }
 
 /// Adds `delta` to the monotonic counter `name` (no-op when disabled).

@@ -154,6 +154,131 @@ fn chrome_trace_escapes_names() {
     assert_eq!(name, "quote\"back\\slash");
 }
 
+/// Ring-wrap orphan replay with *deep* nesting: every thread records
+/// rounds of depth-5 span stacks into a tiny ring, so wrap-around
+/// orphans Ends deep inside a stack, not just at the top. The exporter
+/// must still emit a trace whose per-tid B/E replay balances.
+#[test]
+fn chrome_trace_balances_deeply_nested_spans_after_ring_wrap() {
+    use hpcpower_obs::timeline::next_span_id;
+    use hpcpower_obs::Timeline;
+
+    const DEPTH: usize = 5;
+    fn record_nested(t: &Timeline, depth: usize) {
+        let mut ids: Vec<u64> = Vec::with_capacity(depth);
+        for d in 0..depth {
+            let id = next_span_id();
+            t.record(EventKind::Begin, &format!("deep.d{d}"), id, ids.last().copied());
+            ids.push(id);
+        }
+        for d in (0..depth).rev() {
+            let parent = if d == 0 { None } else { Some(ids[d - 1]) };
+            t.record(EventKind::End, &format!("deep.d{d}"), ids[d], parent);
+        }
+    }
+
+    // 6 per-shard slots, far below 6 threads x 8 rounds x 10 events:
+    // every shard wraps many times over.
+    let t = Timeline::with_capacity(48);
+    t.set_enabled(true);
+    std::thread::scope(|s| {
+        for _ in 0..6 {
+            s.spawn(|| {
+                for _ in 0..8 {
+                    record_nested(&t, DEPTH);
+                }
+            });
+        }
+    });
+    let snap = t.snapshot();
+    assert!(snap.dropped > 0, "the ring must actually have wrapped");
+    let tids: std::collections::BTreeSet<u64> = snap.events.iter().map(|e| e.tid).collect();
+    assert!(tids.len() >= 2, "events must span multiple shards, got {tids:?}");
+
+    let doc = serde_json::parse(&chrome_trace(&snap)).expect("valid JSON after wrap");
+    let root = doc.as_object().unwrap();
+    let events = serde_json::find(root, "traceEvents").and_then(Value::as_array).unwrap();
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+    for ev in events {
+        let ev = ev.as_object().unwrap();
+        let name = serde_json::find(ev, "name").and_then(Value::as_str).unwrap();
+        let tid = serde_json::find(ev, "tid").and_then(Value::as_u64).unwrap();
+        match serde_json::find(ev, "ph").and_then(Value::as_str).unwrap() {
+            "B" => stacks.entry(tid).or_default().push(name.to_string()),
+            "E" => {
+                let open = stacks.get_mut(&tid).and_then(Vec::pop);
+                assert_eq!(open.as_deref(), Some(name), "E must close the innermost B");
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "tid {tid} left spans open: {stack:?}");
+    }
+    let metadata = serde_json::find(root, "metadata").and_then(Value::as_object).unwrap();
+    let unmatched = serde_json::find(metadata, "events_unmatched").and_then(Value::as_u64).unwrap();
+    assert!(unmatched > 0, "wrap must orphan some events in this workload");
+}
+
+/// Without wrap, a complete depth-5 multi-thread timeline must replay
+/// with every level matched — the full stack depth survives export.
+#[test]
+fn chrome_trace_preserves_full_nesting_depth_across_threads() {
+    use hpcpower_obs::timeline::next_span_id;
+    use hpcpower_obs::Timeline;
+
+    let t = Timeline::with_capacity(65_536);
+    t.set_enabled(true);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                let mut ids: Vec<u64> = Vec::new();
+                for d in 0..5 {
+                    let id = next_span_id();
+                    t.record(EventKind::Begin, &format!("deep.d{d}"), id, ids.last().copied());
+                    ids.push(id);
+                }
+                for d in (0..5).rev() {
+                    let parent = if d == 0 { None } else { Some(ids[d - 1]) };
+                    t.record(EventKind::End, &format!("deep.d{d}"), ids[d], parent);
+                }
+            });
+        }
+    });
+    let snap = t.snapshot();
+    assert_eq!(snap.dropped, 0);
+    let doc = serde_json::parse(&chrome_trace(&snap)).expect("valid JSON");
+    let root = doc.as_object().unwrap();
+    let events = serde_json::find(root, "traceEvents").and_then(Value::as_array).unwrap();
+    assert_eq!(events.len(), 4 * 2 * 5, "every event survives");
+    let mut depth: std::collections::BTreeMap<u64, (usize, usize)> = Default::default();
+    for ev in events {
+        let ev = ev.as_object().unwrap();
+        let tid = serde_json::find(ev, "tid").and_then(Value::as_u64).unwrap();
+        let (cur, max) = depth.entry(tid).or_default();
+        match serde_json::find(ev, "ph").and_then(Value::as_str).unwrap() {
+            "B" => {
+                *cur += 1;
+                *max = (*max).max(*cur);
+            }
+            _ => *cur -= 1,
+        }
+    }
+    assert_eq!(depth.len(), 4, "one stack per thread");
+    for (tid, (cur, max)) in &depth {
+        assert_eq!(*cur, 0, "tid {tid} unbalanced");
+        assert_eq!(*max, 5, "tid {tid} lost nesting depth");
+    }
+    assert_eq!(
+        serde_json::find(
+            serde_json::find(root, "metadata").and_then(Value::as_object).unwrap(),
+            "events_unmatched"
+        )
+        .and_then(Value::as_u64),
+        Some(0)
+    );
+}
+
 // ------------------------------------------------------------ prometheus
 
 /// A registry with every metric kind exports a lint-clean exposition.
@@ -268,4 +393,79 @@ s_sum 9
 s_count 3
 ";
     assert!(lint_prometheus(text).is_err(), "quantile label must be in [0, 1]");
+}
+
+#[test]
+fn linter_rejects_unescaped_quote_in_label_value() {
+    // The raw quote ends the value early, leaving `y"` as garbage.
+    let text = "# TYPE m gauge\nm{a=\"x\"y\"} 1\n";
+    let err = lint_prometheus(text).unwrap_err();
+    assert!(err.contains("label"), "error should blame the label set: {err}");
+}
+
+#[test]
+fn linter_rejects_unterminated_label_value() {
+    let text = "# TYPE m gauge\nm{a=\"x} 1\n";
+    assert!(lint_prometheus(text).is_err(), "missing closing quote must fail");
+}
+
+#[test]
+fn linter_rejects_trailing_backslash_in_label_value() {
+    // `x\` swallows the closing quote, so the value never terminates.
+    let text = "# TYPE m gauge\nm{a=\"x\\\"} 1\n";
+    let err = lint_prometheus(text).unwrap_err();
+    assert!(err.contains("unterminated"), "got: {err}");
+}
+
+/// Escaped label values — exactly what `escape_label_value` emits —
+/// must parse, proving the negative cases above fail for the right
+/// reason.
+#[test]
+fn linter_accepts_escaped_label_values() {
+    let text = "# TYPE m gauge\nm{a=\"x\\\\y\\\"z\\n\"} 1\n";
+    lint_prometheus(text).unwrap_or_else(|e| panic!("escaped value must lint: {e}"));
+}
+
+// ------------------------------------------------------------ build info
+
+/// The build-info gauge rides HELP/label escaping end-to-end: hostile
+/// characters in the recorded sha/version must come out escaped and
+/// the document must still lint.
+#[test]
+fn prometheus_build_info_is_emitted_and_escaped() {
+    let r = Registry::new();
+    r.set_enabled(true);
+    r.counter_add("c", 1);
+    let mut snap = r.snapshot();
+    snap.build_info = Some(hpcpower_obs::BuildInfo {
+        git_sha: "abc\\123\"x\ny".to_string(),
+        version: "0.1.0".to_string(),
+    });
+    let text = prometheus(&snap);
+    lint_prometheus(&text).unwrap_or_else(|e| panic!("lint failed: {e}\n---\n{text}"));
+    assert!(text.contains("# TYPE hpcpower_build_info gauge"));
+    assert!(
+        text.contains("hpcpower_build_info{git_sha=\"abc\\\\123\\\"x\\ny\",version=\"0.1.0\"} 1"),
+        "backslash, quote, and newline must be escaped:\n{text}"
+    );
+    assert!(
+        !text.contains("abc\\123\"x\ny"),
+        "raw hostile characters must not appear"
+    );
+}
+
+/// HELP text escaping (the other half of the exposition's escaping
+/// rules): backslashes and newlines in metric names — which the
+/// exporter echoes into HELP — must be escaped.
+#[test]
+fn prometheus_help_text_is_escaped() {
+    let r = Registry::new();
+    r.set_enabled(true);
+    r.counter_add("weird\\name\nwith.newline", 1);
+    let text = prometheus(&r.snapshot());
+    lint_prometheus(&text).unwrap_or_else(|e| panic!("lint failed: {e}\n---\n{text}"));
+    assert!(
+        text.contains("weird\\\\name\\nwith.newline"),
+        "HELP must escape backslash and newline:\n{text}"
+    );
 }

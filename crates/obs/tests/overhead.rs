@@ -130,3 +130,37 @@ fn disabled_kernel_metrics_cost_nothing() {
     assert_eq!(snap.counter("sim.kernel.rng_stride_fills"), None);
     assert!(snap.histogram("sim.kernel.scratch_bytes").is_none());
 }
+
+/// The sliding-window sampler rides the same contract: with sampling
+/// disabled (the default), `sample_now()` must be one relaxed atomic
+/// load — no registry snapshot, no lock, no clock read — and must
+/// leave the window store empty.
+#[test]
+fn disabled_sampling_is_nearly_free() {
+    assert!(
+        !hpcpower_obs::sampling_enabled(),
+        "sampling must be off by default for this test to measure the disabled path"
+    );
+
+    let noop = per_op_ns(best_time(|i| {
+        black_box(i);
+    }))
+    .max(0.05);
+    let sample = per_op_ns(best_time(|i| {
+        black_box(i);
+        hpcpower_obs::sample_now();
+    }));
+
+    eprintln!("disabled sampling: noop {noop:.2} ns/op, sample_now {sample:.2}");
+    let ratio = sample / noop;
+    assert!(
+        ratio <= MAX_RATIO,
+        "disabled sample_now costs {sample:.2} ns/op = {ratio:.0}x a no-op \
+         (bound {MAX_RATIO}x); did the fast path grow a snapshot/lock/clock read?"
+    );
+
+    let window = hpcpower_obs::window_snapshot();
+    assert!(window.series.is_empty(), "disabled sampling must record nothing");
+    assert_eq!(window.samples, 0);
+    assert_eq!(window.dropped, 0);
+}

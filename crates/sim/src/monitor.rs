@@ -442,6 +442,11 @@ pub fn monitor(
     // minute and nodes are derivable from the job, so only watts remain).
     let mut batch_power: Vec<f64> = Vec::new();
     let mut offsets: Vec<usize> = Vec::new();
+    // Live power-domain gauges (telemetry only): running peak draw over
+    // every minute touched so far, and the latest in-horizon start
+    // minute — the "now" the instantaneous gauges are probed at.
+    let mut peak_power_w = 0.0f64;
+    let mut probe_minute: Option<usize> = None;
 
     for batch_start in (0..jobs.len()).step_by(BATCH_JOBS) {
         let batch_end = (batch_start + BATCH_JOBS).min(jobs.len());
@@ -525,7 +530,28 @@ pub fn monitor(
                 for dst in &mut acc.active[start..end] {
                     *dst += nodes;
                 }
+                if telemetry {
+                    // Second pass over the band just written: float
+                    // accumulation above is untouched, so enabling
+                    // telemetry cannot perturb the dataset bytes.
+                    for &w in &acc.power[start..end] {
+                        if w > peak_power_w {
+                            peak_power_w = w;
+                        }
+                    }
+                    probe_minute = Some(probe_minute.map_or(start, |m| m.max(start)));
+                }
             }
+        }
+        if telemetry {
+            if let Some(m) = probe_minute {
+                // Instantaneous cluster draw at the most recently started
+                // minute; later batches refine these as more jobs fold in,
+                // and the last batch's write reflects the full schedule.
+                hpcpower_obs::gauge_set("sim.cluster.power_watts", acc.power[m]);
+                hpcpower_obs::gauge_set("sim.cluster.nodes_busy", acc.active[m] as f64);
+            }
+            hpcpower_obs::gauge_set("sim.cluster.peak_power_watts", peak_power_w);
         }
     }
 
