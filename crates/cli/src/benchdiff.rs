@@ -14,9 +14,7 @@
 use serde_json::Value;
 
 use crate::args::Args;
-
-/// Exit code for a gated regression — distinct from usage errors (2).
-const REGRESS_EXIT: i32 = 3;
+use crate::errors::CliError;
 
 /// Walks `path` through nested JSON objects to a number.
 fn metric(run: &Value, path: &[&str]) -> Option<f64> {
@@ -74,15 +72,17 @@ fn delta_pct(base: f64, new: f64) -> Option<f64> {
 }
 
 /// `hpcpower bench <subcommand>` dispatch. Only `diff` exists today.
-pub fn cmd_bench(args: &Args) -> Result<(), String> {
+pub fn cmd_bench(args: &Args) -> Result<(), CliError> {
     match args.positional.first().map(String::as_str) {
         Some("diff") => cmd_diff(args),
-        Some(other) => Err(format!("unknown bench subcommand {other:?} (expected 'diff')")),
-        None => Err("missing bench subcommand (expected 'diff')".into()),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown bench subcommand {other:?} (expected 'diff')"
+        ))),
+        None => Err(CliError::Usage("missing bench subcommand (expected 'diff')".into())),
     }
 }
 
-fn cmd_diff(args: &Args) -> Result<(), String> {
+fn cmd_diff(args: &Args) -> Result<(), CliError> {
     let path = args.get("bench").unwrap_or("BENCH_pipeline.json");
     let baseline_back: usize = args.get_or("baseline", 1)?;
     if baseline_back == 0 {
@@ -91,7 +91,7 @@ fn cmd_diff(args: &Args) -> Result<(), String> {
     let fail_pct: Option<f64> = args.get_parsed("fail-on-regress")?;
     if let Some(p) = fail_pct {
         if p < 0.0 {
-            return Err(format!("--fail-on-regress {p} must be non-negative"));
+            return Err(format!("--fail-on-regress {p} must be non-negative").into());
         }
     }
 
@@ -190,7 +190,7 @@ fn cmd_diff(args: &Args) -> Result<(), String> {
         }
     }
     if !gated_any {
-        return Err(format!("{path}: runs carry no gate metrics"));
+        return Err(format!("{path}: runs carry no gate metrics").into());
     }
     if let Some(limit) = fail_pct {
         if !comparable_hosts {
@@ -204,7 +204,10 @@ fn cmd_diff(args: &Args) -> Result<(), String> {
             for r in &regressed {
                 eprintln!("REGRESSION: {r}");
             }
-            std::process::exit(REGRESS_EXIT);
+            return Err(CliError::BenchRegress(format!(
+                "{} gate(s) regressed past --fail-on-regress {limit}%",
+                regressed.len()
+            )));
         } else {
             println!("all gates within --fail-on-regress {limit}%");
         }

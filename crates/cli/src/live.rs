@@ -3,18 +3,14 @@
 //! long-running command (a background sampler feeding the sliding
 //! window store, an HTTP endpoint, and an optional alert engine).
 
-use std::io::Write as _;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::args::Args;
+use crate::errors::CliError;
 use hpcpower_obs::alerts::{parse_rule_list, parse_rules, AlertEngine, AlertRule};
 use hpcpower_obs::export::{lint_prometheus, prometheus};
 use hpcpower_obs::{MetricsServer, Sampler, ServeOptions, ServeState, Snapshot};
-
-/// Exit code when `alerts eval` ends with a rule firing (or one that
-/// fired during the walk). 2 = usage, 3 = bench regression, 4 = alerts.
-pub const EXIT_ALERTS_FIRING: i32 = 4;
 
 /// `git rev-parse --short HEAD`, or `"unknown"` outside a checkout.
 fn git_sha() -> String {
@@ -67,14 +63,14 @@ fn load_snapshot(path: &str) -> Result<Snapshot, String> {
 }
 
 /// `hpcpower obs <serve|render|lint>`.
-pub fn cmd_obs(args: &Args) -> Result<(), String> {
+pub fn cmd_obs(args: &Args) -> Result<(), CliError> {
     match args.positional.first().map(String::as_str) {
-        Some("serve") => obs_serve(args),
-        Some("render") => obs_render(args),
-        Some("lint") => obs_lint(args),
-        other => Err(format!(
+        Some("serve") => Ok(obs_serve(args)?),
+        Some("render") => Ok(obs_render(args)?),
+        Some("lint") => Ok(obs_lint(args)?),
+        other => Err(CliError::Usage(format!(
             "usage: hpcpower obs <serve|render|lint> (got {other:?})"
-        )),
+        ))),
     }
 }
 
@@ -177,12 +173,16 @@ fn obs_serve(args: &Args) -> Result<(), String> {
 
 /// `hpcpower alerts eval --metrics FILE (--rules FILE | --alert ...)`:
 /// replay a metrics document (or a JSONL file of one document per line)
-/// through the alert engine. Exits [`EXIT_ALERTS_FIRING`] when any rule
-/// ends firing or fired during the walk.
-pub fn cmd_alerts(args: &Args) -> Result<(), String> {
+/// through the alert engine. Exits [`crate::errors::EXIT_ALERTS_FIRING`]
+/// when any rule ends firing or fired during the walk.
+pub fn cmd_alerts(args: &Args) -> Result<(), CliError> {
     match args.positional.first().map(String::as_str) {
         Some("eval") => {}
-        other => return Err(format!("usage: hpcpower alerts eval (got {other:?})")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "usage: hpcpower alerts eval (got {other:?})"
+            )))
+        }
     }
     let path = args.get("metrics").ok_or("missing --metrics FILE")?;
     let engine = engine_from_args(args)?
@@ -197,7 +197,7 @@ pub fn cmd_alerts(args: &Args) -> Result<(), String> {
         Err(first_err) => {
             let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
             if lines.len() < 2 {
-                return Err(format!("{path}: {first_err}"));
+                return Err(format!("{path}: {first_err}").into());
             }
             lines
                 .iter()
@@ -225,8 +225,7 @@ pub fn cmd_alerts(args: &Args) -> Result<(), String> {
         print!("{}", engine.render_text());
     }
     if engine.any_firing() || engine.ever_fired() {
-        let _ = std::io::stdout().flush();
-        std::process::exit(EXIT_ALERTS_FIRING);
+        return Err(CliError::AlertsFiring("alert rule(s) fired".into()));
     }
     Ok(())
 }

@@ -12,18 +12,28 @@
 
 mod args;
 mod benchdiff;
+mod chaos;
+mod errors;
 mod live;
+mod watchdog;
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufReader;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use args::Args;
+use errors::{CliError, EXIT_INTERRUPTED, EXIT_IO};
 use hpcpower::prediction::{self, PredictionConfig};
 use hpcpower::report;
 use hpcpower_ml::{DecisionTree, Regressor, TreeConfig};
-use hpcpower_sim::{with_threads, ClusterSim, FaultConfig, SimConfig};
+use hpcpower_obs::RetryPolicy;
+use hpcpower_sim::{
+    run_checkpointed, with_threads, CheckpointOptions, ClusterSim, FaultConfig, SimConfig,
+    SimOutput, DEFAULT_CHUNK_JOBS,
+};
 use hpcpower_trace::csv::ParseOptions;
+use hpcpower_trace::recover::{atomic_write_retry, RealFs};
 use hpcpower_trace::repair::{repair, RepairConfig, RepairPolicy};
 use hpcpower_trace::{csv, json, swf, validate, SystemSpec, TraceDataset};
 
@@ -58,6 +68,9 @@ GLOBAL FLAGS:
                      bytes are unaffected.
   --serve-hold       With --serve: after the command finishes, keep
                      serving until GET /quit.
+  --stage-timeout S  Watchdog: abort the process when no pipeline
+                     progress heartbeat lands for S seconds. Exits 6
+                     (resumable) when the run is checkpointed, else 5.
   --sample-interval-ms N  Sampling period of the sliding-window store
                      behind --serve (default 250).
   --addr-file PATH   With --serve: write the bound address to PATH.
@@ -76,6 +89,17 @@ COMMANDS:
              --swf                  also export Standard Workload Format
              --faults R             inject monitoring faults at rate R
                                     (0..1; dirty output skips validation)
+             --checkpoint-dir DIR   commit the run in durable chunks to a
+                                    resumable run directory (crash-safe;
+                                    outputs stay byte-identical)
+             --chunk-jobs N         jobs per checkpoint chunk (default 512)
+             --resume DIR           resume an interrupted checkpointed run;
+                                    the directory pins the workload, only
+                                    --threads/--out may be overridden
+             --chaos-kill-after-chunk N   (testing) SIGKILL self right
+                                    after committing chunk N
+             --chaos-stall-at-chunk N     (testing) stall before chunk N
+             --chaos-stall-ms M     stall duration (default 1000)
   ingest     Parse raw jobs/system CSVs, repair them, report data quality
              --jobs PATH            jobs.csv (required)
              --system PATH          system.csv (optional)
@@ -127,7 +151,20 @@ COMMANDS:
                                     latest (default 1)
              --fail-on-regress PCT  exit 3 if parallel wall time
                                     regressed more than PCT percent
+  chaos run  Deterministic crash/fault drills asserting the recovery
+             invariants (kill-resume byte identity, watchdog exit 6,
+             no unquarantined torn artifacts)
+             --scenario S           kill|stall|enospc|short-write|
+                                    fsync-fail|all (default all)
+             --dir DIR              scratch directory
+             --keep                 keep the scratch directory on success
   help       Show this text
+
+EXIT CODES:
+  0 success; 2 usage or invalid input; 3 bench regression gate;
+  4 alert rule firing; 5 unrecoverable I/O, corruption, or a stalled
+  non-checkpointed run; 6 resumable interrupt — a checkpointed run
+  stopped at a chunk boundary, rerun with --resume RUN_DIR.
 ";
 
 fn fail(msg: impl std::fmt::Display) -> ! {
@@ -143,13 +180,35 @@ fn load(path: &str) -> TraceDataset {
     dataset
 }
 
-fn cmd_simulate(args: &Args) -> Result<(), String> {
+fn cmd_simulate(args: &Args) -> Result<(), CliError> {
+    // --resume: the run directory pins the workload; only execution
+    // knobs (threads, output location) may be overridden.
+    if let Some(run_dir) = args.get("resume") {
+        for pinned in [
+            "system", "seed", "nodes", "days", "users", "faults", "checkpoint-dir",
+            "chunk-jobs", "chaos-kill-after-chunk", "chaos-stall-at-chunk",
+        ] {
+            if args.has(pinned) {
+                return Err(CliError::Usage(format!(
+                    "--{pinned} cannot be combined with --resume \
+                     (the run directory pins the workload)"
+                )));
+            }
+        }
+        let threads: Option<usize> = args.get_parsed("threads")?;
+        if !args.has("quiet") {
+            eprintln!("resuming checkpointed run from {run_dir}...");
+        }
+        let sim_out = hpcpower_sim::resume(Path::new(run_dir), threads, &RealFs)?;
+        return write_simulate_outputs(args, sim_out, "trace-resumed");
+    }
+
     let system = args.get("system").unwrap_or("emmy");
     let seed: u64 = args.get_or("seed", 1)?;
     let mut cfg = match system {
         "emmy" => SimConfig::emmy(seed),
         "meggie" => SimConfig::meggie(seed),
-        other => return Err(format!("unknown system {other:?} (emmy|meggie)")),
+        other => return Err(CliError::Usage(format!("unknown system {other:?} (emmy|meggie)"))),
     };
     if args.has("nodes") || args.has("days") || args.has("users") {
         // Unspecified dimensions keep the preset's full-scale value, so
@@ -162,15 +221,11 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     cfg.threads = args.get_or("threads", 0)?;
     let fault_rate: f64 = args.get_or("faults", 0.0)?;
     if !(0.0..=1.0).contains(&fault_rate) {
-        return Err(format!("--faults {fault_rate} out of range (0..1)"));
+        return Err(CliError::Usage(format!("--faults {fault_rate} out of range (0..1)")));
     }
     if fault_rate > 0.0 {
         cfg.faults = FaultConfig::at_rate(fault_rate);
     }
-    let out: PathBuf = args
-        .get("out")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from(format!("trace-{system}")));
     if !args.has("quiet") {
         eprintln!(
             "simulating {} ({} nodes, {} days, seed {seed})...",
@@ -179,7 +234,41 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             cfg.horizon_min / 1440
         );
     }
-    let sim_out = ClusterSim::new(cfg).run();
+    let sim_out = match args.get("checkpoint-dir") {
+        Some(dir) => {
+            let mut opts = CheckpointOptions::new(dir);
+            opts.chunk_jobs = args.get_or("chunk-jobs", DEFAULT_CHUNK_JOBS)?;
+            if opts.chunk_jobs == 0 {
+                return Err(CliError::Usage("--chunk-jobs must be >= 1".into()));
+            }
+            opts.chaos.kill_after_chunk = args.get_parsed("chaos-kill-after-chunk")?;
+            if let Some(at) = args.get_parsed::<u64>("chaos-stall-at-chunk")? {
+                let ms: u64 = args.get_or("chaos-stall-ms", 1000)?;
+                opts.chaos.stall_before_chunk = Some((at, Duration::from_millis(ms)));
+            }
+            run_checkpointed(&cfg, &opts, &RealFs)?
+        }
+        None => {
+            for needs_ckpt in ["chunk-jobs", "chaos-kill-after-chunk", "chaos-stall-at-chunk"] {
+                if args.has(needs_ckpt) {
+                    return Err(CliError::Usage(format!(
+                        "--{needs_ckpt} requires --checkpoint-dir"
+                    )));
+                }
+            }
+            ClusterSim::new(cfg).run()
+        }
+    };
+    write_simulate_outputs(args, sim_out, &format!("trace-{system}"))
+}
+
+/// Validates (or reports faults for) a finished simulation and durably
+/// publishes its artifacts.
+fn write_simulate_outputs(
+    args: &Args,
+    sim_out: SimOutput,
+    default_out: &str,
+) -> Result<(), CliError> {
     let dataset = sim_out.dataset;
     match &sim_out.faults {
         // A faulted trace is deliberately dirty; `ingest` repairs it.
@@ -198,26 +287,32 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         ),
         None => validate::validate(&dataset).map_err(|e| e.to_string())?,
     }
-    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
-    {
-        let mut jobs = BufWriter::new(
-            File::create(out.join("jobs.csv")).map_err(|e| e.to_string())?,
-        );
-        csv::write_jobs(&mut jobs, &dataset.jobs, &dataset.summaries)
-            .map_err(|e| e.to_string())?;
-        let mut sys = BufWriter::new(
-            File::create(out.join("system.csv")).map_err(|e| e.to_string())?,
-        );
-        csv::write_system(&mut sys, &dataset.system_series).map_err(|e| e.to_string())?;
-        json::save_dataset(&out.join("dataset.json"), &dataset).map_err(|e| e.to_string())?;
-        if args.has("swf") {
-            let mut w = BufWriter::new(
-                File::create(out.join("workload.swf")).map_err(|e| e.to_string())?,
-            );
-            swf::write_swf(&mut w, &dataset).map_err(|e| e.to_string())?;
-        }
+    let out: PathBuf = args
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(default_out));
+    std::fs::create_dir_all(&out)
+        .map_err(|e| CliError::io(format!("cannot create {}: {e}", out.display())))?;
+    let mut jobs_csv = Vec::new();
+    csv::write_jobs(&mut jobs_csv, &dataset.jobs, &dataset.summaries)
+        .map_err(CliError::io)?;
+    publish(&out.join("jobs.csv"), &jobs_csv)?;
+    let mut system_csv = Vec::new();
+    csv::write_system(&mut system_csv, &dataset.system_series).map_err(CliError::io)?;
+    publish(&out.join("system.csv"), &system_csv)?;
+    let mut dataset_json = Vec::new();
+    json::write_dataset(&mut dataset_json, &dataset).map_err(CliError::io)?;
+    publish(&out.join("dataset.json"), &dataset_json)?;
+    if args.has("swf") {
+        let mut workload = Vec::new();
+        swf::write_swf(&mut workload, &dataset).map_err(CliError::io)?;
+        publish(&out.join("workload.swf"), &workload)?;
     }
-    println!(
+    // A closed stdout (e.g. `hpcpower simulate | grep -q ...`) must not
+    // panic after the outputs are already durably published.
+    use std::io::Write as _;
+    let _ = writeln!(
+        std::io::stdout(),
         "{}: {} jobs, {} instrumented series -> {}",
         dataset.system.name,
         dataset.len(),
@@ -227,7 +322,14 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(args: &Args) -> Result<(), String> {
+/// Durably publishes one output artifact: atomic temp+fsync+rename with
+/// a manifest sidecar, retrying transient I/O errors with backoff.
+fn publish(path: &Path, bytes: &[u8]) -> Result<(), CliError> {
+    atomic_write_retry(&RealFs, path, bytes, &RetryPolicy::default())
+        .map_err(|e| CliError::io(format!("cannot write {}: {e}", path.display())))
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), CliError> {
     let path = args.get("data").ok_or("missing --data PATH")?;
     let splits: usize = args.get_or("splits", 5)?;
     // With --repair-policy the dataset may be dirty: load it without the
@@ -268,7 +370,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_ingest(args: &Args) -> Result<(), String> {
+fn cmd_ingest(args: &Args) -> Result<(), CliError> {
     let jobs_path = args.get("jobs").ok_or("missing --jobs PATH")?;
     if args.has("strict") && args.has("lenient") {
         return Err("--strict and --lenient are mutually exclusive".into());
@@ -286,7 +388,7 @@ fn cmd_ingest(args: &Args) -> Result<(), String> {
     let mut spec = match args.get("spec").unwrap_or("emmy") {
         "emmy" => SystemSpec::emmy(),
         "meggie" => SystemSpec::meggie(),
-        other => return Err(format!("unknown spec {other:?} (emmy|meggie)")),
+        other => return Err(format!("unknown spec {other:?} (emmy|meggie)").into()),
     };
     if args.has("nodes") {
         spec = spec.scaled(args.get_or("nodes", spec.nodes)?);
@@ -334,11 +436,14 @@ fn cmd_ingest(args: &Args) -> Result<(), String> {
 
     if let Some(out) = args.get("out") {
         let out = PathBuf::from(out);
-        std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
-        json::save_dataset(&out.join("dataset.json"), &dataset).map_err(|e| e.to_string())?;
+        std::fs::create_dir_all(&out)
+            .map_err(|e| CliError::io(format!("cannot create {}: {e}", out.display())))?;
+        let mut dataset_json = Vec::new();
+        json::write_dataset(&mut dataset_json, &dataset).map_err(CliError::io)?;
+        publish(&out.join("dataset.json"), &dataset_json)?;
         let quality_json =
             serde_json::to_string_pretty(&quality).map_err(|e| e.to_string())?;
-        std::fs::write(out.join("quality.json"), quality_json).map_err(|e| e.to_string())?;
+        publish(&out.join("quality.json"), quality_json.as_bytes())?;
     }
     if args.has("json") {
         let text = serde_json::to_string_pretty(&quality).map_err(|e| e.to_string())?;
@@ -355,7 +460,7 @@ fn cmd_ingest(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compare(args: &Args) -> Result<(), String> {
+fn cmd_compare(args: &Args) -> Result<(), CliError> {
     let a = load(args.get("a").ok_or("missing --a PATH")?);
     let b = load(args.get("b").ok_or("missing --b PATH")?);
     let cfg = PredictionConfig {
@@ -370,7 +475,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_predict(args: &Args) -> Result<(), String> {
+fn cmd_predict(args: &Args) -> Result<(), CliError> {
     let dataset = load(args.get("data").ok_or("missing --data PATH")?);
     let user: u32 = args.get_parsed("user")?.ok_or("missing --user U")?;
     let nodes: f64 = args.get_parsed("nodes")?.ok_or("missing --nodes N")?;
@@ -391,7 +496,7 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_powercap(args: &Args) -> Result<(), String> {
+fn cmd_powercap(args: &Args) -> Result<(), CliError> {
     let dataset = load(args.get("data").ok_or("missing --data PATH")?);
     let cfg = PredictionConfig {
         n_splits: 3,
@@ -494,9 +599,26 @@ fn main() {
     }
     // Global --serve: live sampler + HTTP endpoint riding the command.
     let live = live::LiveService::from_args(&args).unwrap_or_else(|e| fail(e));
+    // Global --stage-timeout: arm the heartbeat watchdog. A stall on a
+    // checkpointed simulate exits 6 (the run directory resumes exactly
+    // where it stopped); anything else exits 5.
+    let supervisor = match args.get_parsed::<f64>("stage-timeout").unwrap_or_else(|e| fail(e)) {
+        Some(secs) if secs > 0.0 => {
+            let resumable = args.command.as_deref() == Some("simulate")
+                && (args.has("checkpoint-dir") || args.has("resume"));
+            let exit_code = if resumable { EXIT_INTERRUPTED } else { EXIT_IO };
+            Some(watchdog::Supervisor::start(
+                Duration::from_secs_f64(secs),
+                exit_code,
+                args.has("quiet"),
+            ))
+        }
+        Some(secs) => fail(format!("--stage-timeout {secs} must be positive")),
+        None => None,
+    };
     // The command span closes before `emit` snapshots the registry, so
     // the top-level timing ("analyze", "simulate", ...) is included.
-    let result = match args.command.as_deref() {
+    let result: Result<(), CliError> = match args.command.as_deref() {
         Some("simulate") => hpcpower_obs::time("simulate.cmd", || cmd_simulate(&args)),
         Some("ingest") => hpcpower_obs::time("ingest", || cmd_ingest(&args)),
         Some("analyze") => hpcpower_obs::time("analyze", || cmd_analyze(&args)),
@@ -506,23 +628,41 @@ fn main() {
         Some("bench") => benchdiff::cmd_bench(&args),
         Some("obs") => live::cmd_obs(&args),
         Some("alerts") => live::cmd_alerts(&args),
+        Some("chaos") => chaos::cmd_chaos(&args),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}")),
+        Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     };
+    // Supervision ends with the command body: the tail work below
+    // (holds, file writes) produces no heartbeats and must not trip it.
+    if let Some(s) = supervisor {
+        s.stop();
+    }
     // The live service ends (and its alert summary prints) before the
     // telemetry files are written, so they include its meta-metrics.
     let result = result.and_then(|()| match live {
-        Some(s) => s.finish(),
+        Some(s) => s.finish().map_err(CliError::from),
         None => Ok(()),
     });
     let result = result.and_then(|()| match &telemetry {
-        Some(t) => t.emit(),
+        Some(t) => t.emit().map_err(CliError::from),
         None => Ok(()),
     });
     if let Err(e) = result {
-        fail(e);
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        match &e {
+            CliError::Usage(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("run `hpcpower help` for usage");
+            }
+            CliError::Io(msg) => eprintln!("error: {msg}"),
+            CliError::BenchRegress(msg)
+            | CliError::AlertsFiring(msg)
+            | CliError::Interrupted(msg) => eprintln!("{msg}"),
+        }
+        std::process::exit(e.exit_code());
     }
 }

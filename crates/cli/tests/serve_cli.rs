@@ -8,7 +8,14 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Output};
 use std::time::{Duration, Instant};
 
-use hpcpower_obs::serve::http_get;
+use hpcpower_obs::{http_get_retry, RetryPolicy};
+
+/// GET with bounded retry/backoff: absorbs the transient connection
+/// races (refused/reset between bind and first accept) that made the
+/// raw one-shot client flaky under load.
+fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String, String)> {
+    http_get_retry(addr, path, &RetryPolicy::default())
+}
 
 fn bin() -> &'static str {
     env!("CARGO_BIN_EXE_hpcpower")
@@ -46,6 +53,31 @@ fn simulate(dir: &Path, out_name: &str, extra: &[&str]) -> Vec<u8> {
     args.extend_from_slice(extra);
     run(&args);
     std::fs::read(out_dir.join("dataset.json")).expect("dataset written")
+}
+
+/// Kills the spawned server on drop, so a failing assertion mid-test
+/// cannot leak a `--serve-hold` child that inherits the test harness's
+/// output pipes and wedges `cargo test` waiting for EOF.
+struct KillOnDrop(Option<Child>);
+
+impl KillOnDrop {
+    fn child(&mut self) -> &mut Child {
+        self.0.as_mut().expect("child not taken")
+    }
+
+    /// Hands the child back for a clean `wait_exit` shutdown path.
+    fn into_inner(mut self) -> Child {
+        self.0.take().expect("child not taken")
+    }
+}
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
 }
 
 /// Polls an `--addr-file` until the server has written its bound
@@ -94,14 +126,16 @@ fn obs_serve_static_mode_is_byte_identical_to_obs_render() {
     let doc = std::fs::read_to_string(&metrics).expect("metrics document");
 
     let addr_file = dir.join("addr.txt");
-    let mut child = Command::new(bin())
-        .args([
-            "obs", "serve", "--metrics", &metrics_str, "--addr", "127.0.0.1:0",
-            "--addr-file", addr_file.to_str().unwrap(), "--interval-ms", "50", "--quiet",
-        ])
-        .spawn()
-        .expect("spawn obs serve");
-    let addr = wait_addr(&addr_file, &mut child);
+    let mut guard = KillOnDrop(Some(
+        Command::new(bin())
+            .args([
+                "obs", "serve", "--metrics", &metrics_str, "--addr", "127.0.0.1:0",
+                "--addr-file", addr_file.to_str().unwrap(), "--interval-ms", "50", "--quiet",
+            ])
+            .spawn()
+            .expect("spawn obs serve"),
+    ));
+    let addr = wait_addr(&addr_file, guard.child());
 
     let (status, headers, body) = http_get(addr, "/metrics").expect("GET /metrics");
     assert_eq!(status, 200);
@@ -126,7 +160,7 @@ fn obs_serve_static_mode_is_byte_identical_to_obs_render() {
 
     let (status, _, _) = http_get(addr, "/quit").expect("GET /quit");
     assert_eq!(status, 200);
-    let exit = wait_exit(child);
+    let exit = wait_exit(guard.into_inner());
     assert!(exit.success(), "clean exit after /quit: {exit}");
 }
 
@@ -137,17 +171,19 @@ fn serve_flag_exposes_live_endpoints_and_leaves_dataset_bytes_identical() {
 
     let addr_file = dir.join("addr.txt");
     let out_dir = dir.join("served");
-    let mut child = Command::new(bin())
-        .args([
-            "simulate", "--system", "emmy", "--seed", "3", "--nodes", "24", "--days", "2",
-            "--users", "10", "--quiet", "--out", out_dir.to_str().unwrap(),
-            "--serve", "127.0.0.1:0", "--serve-hold", "--sample-interval-ms", "25",
-            "--addr-file", addr_file.to_str().unwrap(),
-            "--alert", "placed:sim.jobs.placed>1@1,cool:sim.cluster.power_watts>1e12@1",
-        ])
-        .spawn()
-        .expect("spawn simulate --serve");
-    let addr = wait_addr(&addr_file, &mut child);
+    let mut guard = KillOnDrop(Some(
+        Command::new(bin())
+            .args([
+                "simulate", "--system", "emmy", "--seed", "3", "--nodes", "24", "--days", "2",
+                "--users", "10", "--quiet", "--out", out_dir.to_str().unwrap(),
+                "--serve", "127.0.0.1:0", "--serve-hold", "--sample-interval-ms", "25",
+                "--addr-file", addr_file.to_str().unwrap(),
+                "--alert", "placed:sim.jobs.placed>1@1,cool:sim.cluster.power_watts>1e12@1",
+            ])
+            .spawn()
+            .expect("spawn simulate --serve"),
+    ));
+    let addr = wait_addr(&addr_file, guard.child());
 
     // The run holds after finishing (--serve-hold), so by the time the
     // window has samples the final state is on the endpoints.
@@ -166,10 +202,21 @@ fn serve_flag_exposes_live_endpoints_and_leaves_dataset_bytes_identical() {
     assert!(body.contains("sim_cluster_power_watts"), "power-domain gauges ride /metrics");
     assert!(body.contains("obs_sampler_ticks_total"), "sampler meta-metrics ride /metrics");
 
-    let (_, _, alerts) = http_get(addr, "/alerts").expect("GET /alerts");
-    let v = serde_json::parse(&alerts).expect("alerts JSON");
-    let obj = v.as_object().unwrap();
-    assert_eq!(serde_json::find(obj, "firing").and_then(|v| v.as_u64()), Some(1));
+    // The alert engine advances on sampler ticks, so the `placed` rule
+    // may still be pending right after /metrics first shows the
+    // counter: poll until it fires rather than asserting a one-shot
+    // race.
+    let firing_deadline = Instant::now() + Duration::from_secs(30);
+    let firing = loop {
+        let (_, _, alerts) = http_get(addr, "/alerts").expect("GET /alerts");
+        let v = serde_json::parse(&alerts).expect("alerts JSON");
+        let firing = serde_json::find(v.as_object().unwrap(), "firing").and_then(|v| v.as_u64());
+        if firing == Some(1) || Instant::now() >= firing_deadline {
+            break firing;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(firing, Some(1), "the `placed` rule must end up firing");
 
     let (_, _, health) = http_get(addr, "/healthz").expect("GET /healthz");
     let v = serde_json::parse(&health).expect("healthz JSON");
@@ -182,7 +229,7 @@ fn serve_flag_exposes_live_endpoints_and_leaves_dataset_bytes_identical() {
 
     let (status, _, _) = http_get(addr, "/quit").expect("GET /quit");
     assert_eq!(status, 200);
-    let exit = wait_exit(child);
+    let exit = wait_exit(guard.into_inner());
     assert!(exit.success(), "clean exit after /quit: {exit}");
 
     let served = std::fs::read(out_dir.join("dataset.json")).expect("dataset written");

@@ -59,6 +59,7 @@
 pub mod alerts;
 pub mod export;
 pub mod registry;
+pub mod retry;
 pub mod sampler;
 pub mod serve;
 pub mod sink;
@@ -66,6 +67,7 @@ pub mod snapshot;
 pub mod span;
 pub mod store;
 pub mod timeline;
+pub mod watchdog;
 
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -74,6 +76,7 @@ use hpcpower_stats::Summary;
 
 pub use alerts::{AlertEngine, AlertKind, AlertOp, AlertRule, AlertState};
 pub use registry::{Histogram, Registry, SUBBUCKETS_PER_OCTAVE};
+pub use retry::{http_get_retry, is_transient, retry_io, RetryPolicy};
 pub use sampler::Sampler;
 pub use serve::{MetricsServer, ServeOptions, ServeState};
 pub use sink::{render, render_metrics, LogFormat, MetricsFormat};

@@ -17,12 +17,24 @@
 //! `Connection: close` — one request per connection keeps the parser
 //! trivial and is plenty for scrape traffic.
 //!
-//! ## Bounds
+//! ## Bounds and graceful degradation
 //!
 //! Connections are handled on short-lived threads, capped at
-//! [`ServeOptions::max_connections`] in flight (excess connections get
-//! an immediate 503), with read/write timeouts so a stalled peer
-//! cannot pin a handler. Request heads are capped at 8 KiB.
+//! [`ServeOptions::max_connections`] in flight, with read/write
+//! timeouts so a stalled peer cannot pin a handler. Request heads are
+//! capped at 8 KiB.
+//!
+//! Under load the server sheds expensive routes first and keeps the
+//! control plane alive (each shed answers `503` with `Retry-After`
+//! and bumps the `obs.serve.shed` counter):
+//!
+//! 1. above half of `max_connections`: `/snapshot` is shed (the
+//!    full-JSON dump is the most expensive route);
+//! 2. above three quarters: `/metrics` and `/alerts` are shed too;
+//! 3. at the cap, new connections are handled *inline* on the accept
+//!    thread with a short read deadline: `/healthz` is shed last and
+//!    `/quit` is always honored — an operator can always shut the
+//!    server down, no matter how overloaded it is.
 //!
 //! The server only ever *reads* telemetry state; like the sampler it
 //! never participates in pipeline computation, so serving cannot
@@ -124,18 +136,22 @@ impl MetricsServer {
                     }
                     let Ok(stream) = conn else { continue };
                     if inflight.load(Ordering::Relaxed) >= options.max_connections {
-                        respond_busy(stream, options.io_timeout);
+                        // Fully saturated: no handler thread available,
+                        // but /quit must never be dropped. Read the head
+                        // inline with a short deadline and answer only
+                        // the control plane; everything else is shed.
+                        handle_overloaded(stream, &accept_quit);
                         continue;
                     }
                     inflight.fetch_add(1, Ordering::Relaxed);
                     let conn_inflight = Arc::clone(&inflight);
                     let state = state.clone();
                     let quit = Arc::clone(&accept_quit);
-                    let timeout = options.io_timeout;
+                    let options = options.clone();
                     let spawned = std::thread::Builder::new()
                         .name("obs-serve-conn".to_string())
                         .spawn(move || {
-                            handle_connection(stream, &state, &quit, timeout);
+                            handle_connection(stream, &state, &quit, &options, &conn_inflight);
                             conn_inflight.fetch_sub(1, Ordering::Relaxed);
                         });
                     if spawned.is_err() {
@@ -194,12 +210,61 @@ impl Drop for MetricsServer {
     }
 }
 
-fn respond_busy(mut stream: TcpStream, timeout: Duration) {
-    let _ = stream.set_write_timeout(Some(timeout));
-    let _ = stream.write_all(
-        b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain; charset=utf-8\r\n\
-          Content-Length: 21\r\nConnection: close\r\n\r\ntoo many connections\n",
-    );
+/// Deadline for reading a request head on the accept thread when the
+/// server is saturated. Short, so a slow peer cannot stall accepts for
+/// long; a peer that misses it is shed without an answer.
+const OVERLOAD_READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Inline handler for connections arriving while every handler slot is
+/// busy: serve `/quit` (never dropped), shed everything else with 503.
+fn handle_overloaded(mut stream: TcpStream, quit: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(OVERLOAD_READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(OVERLOAD_READ_TIMEOUT));
+    let path = read_request_head(&mut stream)
+        .as_deref()
+        .and_then(request_path)
+        .map(str::to_string);
+    let response = match path.as_deref() {
+        Some("/quit") => {
+            quit.store(true, Ordering::Relaxed);
+            crate::counter_add("obs.serve.requests", 1);
+            Response::ok("text/plain; charset=utf-8", "shutting down\n".to_string())
+        }
+        _ => shed_response(),
+    };
+    write_response(&mut stream, &response);
+}
+
+/// The 503 a shed route answers with; carries `Retry-After` so a
+/// well-behaved scraper backs off instead of hammering.
+fn shed_response() -> Response {
+    crate::counter_add("obs.serve.shed", 1);
+    Response::error(503, "Service Unavailable", "overloaded, retry later")
+}
+
+/// Routes shed at each load level, cheapest-to-keep last: `/snapshot`
+/// above half the connection cap, `/metrics` and `/alerts` above three
+/// quarters. `/healthz` is only shed on the saturated inline path and
+/// `/quit` never.
+fn shed_route(path: &str, inflight: usize, max_connections: usize) -> bool {
+    match path {
+        "/snapshot" => inflight > max_connections / 2,
+        "/metrics" | "/alerts" => inflight > (max_connections * 3) / 4,
+        _ => false,
+    }
+}
+
+/// Extracts the request path from a request head: GET only, HTTP/1.x
+/// only, query string stripped. `None` means malformed (or non-GET),
+/// which the caller maps to 400/405.
+fn request_path(head: &str) -> Option<&str> {
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = (parts.next()?, parts.next()?, parts.next()?);
+    if method != "GET" || !version.starts_with("HTTP/1.") || parts.next().is_some() {
+        return None;
+    }
+    Some(target.split('?').next().unwrap_or(target))
 }
 
 /// Reads the request head (up to the blank line or the size cap).
@@ -282,10 +347,11 @@ fn handle_connection(
     mut stream: TcpStream,
     state: &ServeState,
     quit: &AtomicBool,
-    timeout: Duration,
+    options: &ServeOptions,
+    inflight: &AtomicUsize,
 ) {
-    let _ = stream.set_read_timeout(Some(timeout));
-    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_read_timeout(Some(options.io_timeout));
+    let _ = stream.set_write_timeout(Some(options.io_timeout));
     let Some(head) = read_request_head(&mut stream) else {
         return;
     };
@@ -302,11 +368,24 @@ fn handle_connection(
                 // Strip any query string; the endpoints take none.
                 let path = target.split('?').next().unwrap_or(target);
                 crate::counter_add("obs.serve.requests", 1);
-                route(path, state, quit)
+                // Graceful degradation: shed expensive routes while
+                // most handler slots are busy (see the module docs for
+                // the shed order). /quit and /healthz are never shed
+                // here — only the saturated inline path sheds /healthz.
+                if shed_route(path, inflight.load(Ordering::Relaxed), options.max_connections)
+                {
+                    shed_response()
+                } else {
+                    route(path, state, quit)
+                }
             }
         }
         _ => Response::error(400, "Bad Request", "malformed request line"),
     };
+    write_response(&mut stream, &response);
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
@@ -316,6 +395,9 @@ fn handle_connection(
     );
     if response.status == 405 {
         head.push_str("Allow: GET\r\n");
+    }
+    if response.status == 503 {
+        head.push_str("Retry-After: 1\r\n");
     }
     head.push_str("\r\n");
     let _ = stream.write_all(head.as_bytes());

@@ -53,7 +53,13 @@ struct LiveSpan {
 
 impl SpanGuard {
     /// Opens a span named `name`, started now.
+    ///
+    /// Entering a span also feeds the watchdog heartbeat when one is
+    /// armed (see [`crate::watchdog`]) — independent of whether
+    /// telemetry is enabled, so supervised runs prove liveness even
+    /// with metrics collection off.
     pub fn enter(name: &str) -> SpanGuard {
+        crate::watchdog::beat_if_armed();
         if !crate::enabled() {
             return SpanGuard { live: None };
         }

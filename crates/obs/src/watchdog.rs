@@ -1,0 +1,94 @@
+//! Process heartbeat for watchdog supervision.
+//!
+//! Long-running stages prove liveness by *beating*: every
+//! [`SpanGuard::enter`](crate::span::SpanGuard::enter) beats when the
+//! watchdog is armed, and checkpointed pipelines beat explicitly at
+//! chunk boundaries. A supervisor thread (the CLI's `--stage-timeout`
+//! watchdog) polls [`last_beat_age_ns`]; if the age exceeds the stage
+//! deadline the stage is declared stalled.
+//!
+//! This module is only the *heartbeat ledger* — two atomics and a
+//! monotonic clock. Policy (deadlines, what to do on a stall, exit
+//! codes) lives with the supervisor, which also publishes the
+//! `obs.watchdog.*` metrics:
+//!
+//! - `obs.watchdog.beats` (counter) — heartbeats observed, bumped here
+//!   only while telemetry is enabled;
+//! - `obs.watchdog.last_beat_age_seconds` (gauge) and
+//!   `obs.watchdog.stalls` (counter) — published by the supervisor.
+//!
+//! The disabled path stays on the overhead contract: while unarmed,
+//! [`beat_if_armed`] is one relaxed atomic load, mirroring how every
+//! other obs entry point gates on [`crate::enabled`]. Arming is
+//! independent of [`crate::enable`] — a run can be supervised without
+//! collecting any metrics.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::timeline;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static LAST_BEAT_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Arms the heartbeat: spans and checkpoint boundaries start feeding
+/// [`beat`]. Records an initial beat so the age starts at zero.
+pub fn arm() {
+    LAST_BEAT_NS.store(timeline::now_ns(), Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms the heartbeat; [`beat_if_armed`] returns to its one-load
+/// fast path.
+pub fn disarm() {
+    ARMED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the heartbeat is currently armed.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Records a heartbeat at the current monotonic timestamp.
+pub fn beat() {
+    LAST_BEAT_NS.store(timeline::now_ns(), Ordering::Relaxed);
+    crate::counter_add("obs.watchdog.beats", 1);
+}
+
+/// [`beat`], but only when armed — the form instrumentation sites use.
+/// Unarmed cost: one relaxed atomic load.
+#[inline]
+pub fn beat_if_armed() {
+    if armed() {
+        beat();
+    }
+}
+
+/// Nanoseconds since the last beat (0 if a beat just landed). Only
+/// meaningful while armed; before the first [`arm`] the epoch beat is
+/// the process start.
+pub fn last_beat_age_ns() -> u64 {
+    timeline::now_ns().saturating_sub(LAST_BEAT_NS.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beat_resets_age_and_spans_feed_it() {
+        arm();
+        assert!(armed());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(last_beat_age_ns() >= 4_000_000, "age should accumulate");
+        // A span entry counts as a beat while armed, even with
+        // telemetry disabled (the guard itself may be inert).
+        let _g = crate::span::SpanGuard::enter("watchdog.test.beat");
+        assert!(
+            last_beat_age_ns() < 4_000_000,
+            "span entry must reset the heartbeat age"
+        );
+        disarm();
+        assert!(!armed());
+    }
+}

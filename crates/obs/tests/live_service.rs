@@ -11,8 +11,20 @@ use std::time::Duration;
 
 use hpcpower_obs::alerts::{parse_rules, AlertEngine, AlertState};
 use hpcpower_obs::export::{lint_prometheus, prometheus};
-use hpcpower_obs::serve::http_get;
-use hpcpower_obs::{MetricsServer, Registry, Sampler, ServeOptions, ServeState, Snapshot};
+use hpcpower_obs::{
+    http_get_retry, MetricsServer, Registry, RetryPolicy, Sampler, ServeOptions, ServeState,
+    Snapshot,
+};
+
+/// GET with bounded retry/backoff: absorbs the transient connection
+/// races (refused/reset between bind and first accept) that made the
+/// raw one-shot client flaky under load.
+fn http_get(
+    addr: std::net::SocketAddr,
+    path: &str,
+) -> std::io::Result<(u16, String, String)> {
+    http_get_retry(addr, path, &RetryPolicy::default())
+}
 
 fn fixed_snapshot() -> Snapshot {
     let r = Registry::new();

@@ -9,7 +9,7 @@ use rayon::prelude::*;
 use crate::apps::{standard_catalog, AppClass};
 use crate::config::SimConfig;
 use crate::faults::{inject_faults, FaultSummary};
-use crate::monitor::{monitor, select_instrumented};
+use crate::monitor::{monitor, select_instrumented, MonitorOutput};
 use crate::pool::with_threads;
 use crate::power::{resolve_job_params, JobPowerParams, PowerModel};
 use crate::scheduler::{schedule, ScheduledJob};
@@ -75,6 +75,27 @@ impl ClusterSim {
 
     fn run_inner(&self) -> SimOutput {
         let _run_span = hpcpower_obs::span!("simulate");
+        let prep = self.prepare();
+        let cfg = &self.cfg;
+        let out = hpcpower_obs::time("simulate.monitor", || {
+            monitor(
+                &prep.model,
+                &prep.placed,
+                &prep.job_params,
+                cfg.horizon_min,
+                &prep.flags,
+            )
+        });
+        self.finish(prep, out)
+    }
+
+    /// Everything up to (but excluding) telemetry materialization:
+    /// population → arrivals → schedule → per-job power parameters →
+    /// instrumented-subset selection. Pure function of the config, and
+    /// cheap relative to [`monitor`] — which is why the checkpoint
+    /// layer (`crate::checkpoint`) re-runs it on `--resume` instead of
+    /// persisting it, then skips straight to the uncommitted chunks.
+    pub(crate) fn prepare(&self) -> PreparedRun {
         let cfg = &self.cfg;
         let mut rng = SplitMix64::new(cfg.seed);
         let mut pop_rng = rng.fork(1);
@@ -138,9 +159,29 @@ impl ClusterSim {
         let model = PowerModel::new(cfg.power, cfg.seed);
         let eligible: Vec<bool> = self.catalog.iter().map(|a| a.major).collect();
         let flags = select_instrumented(&placed, &eligible, &cfg.instrument);
-        let out = hpcpower_obs::time("simulate.monitor", || {
-            monitor(&model, &placed, &job_params, cfg.horizon_min, &flags)
-        });
+        PreparedRun {
+            users,
+            placed,
+            job_params,
+            flags,
+            rejected: outcome.rejected.len(),
+            model,
+        }
+    }
+
+    /// Turns a prepared run plus its monitor output into the final
+    /// [`SimOutput`]: builds the dataset and (serially) injects faults.
+    /// Shared by the monolithic path and the checkpoint finalizer, so
+    /// both produce the dataset through identical code.
+    pub(crate) fn finish(&self, prep: PreparedRun, out: MonitorOutput) -> SimOutput {
+        let cfg = &self.cfg;
+        let PreparedRun {
+            users,
+            placed,
+            job_params,
+            rejected,
+            ..
+        } = prep;
         if hpcpower_obs::enabled() {
             // Per-application energy totals (watt-minutes, rounded to a
             // counter): one series per catalog entry that ran work.
@@ -193,10 +234,23 @@ impl ClusterSim {
             dataset,
             users,
             job_params,
-            rejected_jobs: outcome.rejected.len(),
+            rejected_jobs: rejected,
             faults,
         }
     }
+}
+
+/// The deterministic front half of a run (see [`ClusterSim::prepare`]):
+/// placed jobs in fold order, their resolved power parameters and
+/// instrumentation flags, and the power model — everything
+/// [`monitor`] (or the checkpoint layer's chunked equivalent) needs.
+pub(crate) struct PreparedRun {
+    pub(crate) users: Vec<UserModel>,
+    pub(crate) placed: Vec<ScheduledJob>,
+    pub(crate) job_params: Vec<JobPowerParams>,
+    pub(crate) flags: Vec<bool>,
+    pub(crate) rejected: usize,
+    pub(crate) model: PowerModel,
 }
 
 /// Convenience: run a preset and return just the dataset.

@@ -30,6 +30,7 @@
 #![warn(clippy::all)]
 
 pub mod apps;
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod faults;
@@ -43,6 +44,9 @@ pub mod users;
 pub mod workload;
 
 pub use apps::{standard_catalog, AppClass, Arch};
+pub use checkpoint::{
+    resume, run_checkpointed, ChaosPlan, CheckpointError, CheckpointOptions, DEFAULT_CHUNK_JOBS,
+};
 pub use cluster::{simulate, ClusterSim, SimOutput};
 pub use config::SimConfig;
 pub use faults::{inject_faults, FaultConfig, FaultSummary};

@@ -102,17 +102,91 @@ pub fn select_instrumented(
     flags
 }
 
-struct SystemAcc {
+/// The serial system-series reducer — the only stage where jobs
+/// interact, and therefore the stage that defines the dataset's float
+/// addition order. Both [`monitor`] and the checkpoint finalizer
+/// (`crate::checkpoint`) fold through this exact code, job by job in
+/// input order, minutes ascending — which is what makes a resumed
+/// chunked run bit-identical to an uninterrupted monolithic one.
+pub(crate) struct SystemFold {
     power: Vec<f64>,
     active: Vec<u64>,
+    horizon: usize,
+    telemetry: bool,
+    /// Running peak draw over every minute touched so far (telemetry
+    /// only — never feeds back into the accumulators).
+    peak_power_w: f64,
+    /// Latest in-horizon start minute — the "now" the instantaneous
+    /// gauges are probed at.
+    probe_minute: Option<usize>,
 }
 
-impl SystemAcc {
-    fn new(horizon: usize) -> Self {
+impl SystemFold {
+    pub(crate) fn new(horizon_min: u64, telemetry: bool) -> Self {
+        let horizon = horizon_min as usize;
         Self {
             power: vec![0.0; horizon],
             active: vec![0; horizon],
+            horizon,
+            telemetry,
+            peak_power_w: 0.0,
+            probe_minute: None,
         }
+    }
+
+    /// Adds one job's minute-power column into the system accumulators:
+    /// the in-horizon prefix of `column`, minutes in ascending order.
+    pub(crate) fn fold_job(&mut self, job: &ScheduledJob, column: &[f64]) {
+        let start = job.start_min as usize;
+        let nodes = job.request.nodes as u64;
+        if start >= self.horizon {
+            return;
+        }
+        let end = (start + column.len()).min(self.horizon);
+        let span = end - start;
+        for (dst, &power) in self.power[start..end].iter_mut().zip(&column[..span]) {
+            *dst += power;
+        }
+        for dst in &mut self.active[start..end] {
+            *dst += nodes;
+        }
+        if self.telemetry {
+            // Second pass over the band just written: float
+            // accumulation above is untouched, so enabling telemetry
+            // cannot perturb the dataset bytes.
+            for &w in &self.power[start..end] {
+                if w > self.peak_power_w {
+                    self.peak_power_w = w;
+                }
+            }
+            self.probe_minute = Some(self.probe_minute.map_or(start, |m| m.max(start)));
+        }
+    }
+
+    /// Publishes the live power-domain gauges (telemetry only); called
+    /// once per folded batch/chunk so later folds refine the values.
+    pub(crate) fn flush_gauges(&self) {
+        if !self.telemetry {
+            return;
+        }
+        if let Some(m) = self.probe_minute {
+            // Instantaneous cluster draw at the most recently started
+            // minute; the final flush reflects the full schedule.
+            hpcpower_obs::gauge_set("sim.cluster.power_watts", self.power[m]);
+            hpcpower_obs::gauge_set("sim.cluster.nodes_busy", self.active[m] as f64);
+        }
+        hpcpower_obs::gauge_set("sim.cluster.peak_power_watts", self.peak_power_w);
+    }
+
+    /// Finishes the fold into the per-minute system series.
+    pub(crate) fn into_system_series(self) -> Vec<SystemSample> {
+        (0..self.horizon)
+            .map(|m| SystemSample {
+                minute: m as u64,
+                active_nodes: self.active[m] as u32,
+                total_power_w: self.power[m],
+            })
+            .collect()
     }
 }
 
@@ -409,6 +483,88 @@ fn summarize_job(
 /// flat minute-power column) plus each worker's scratch arena.
 const BATCH_JOBS: usize = 256;
 
+/// One materialized job range: per-job summaries and retained series
+/// (ids already re-keyed to the *global* job index), plus the flat
+/// concatenated minute-power columns the system fold consumes. Job
+/// `range.start + k` owns `columns[offsets[k]..offsets[k + 1]]`.
+///
+/// This is the unit both [`monitor`] (one instance per fixed-size
+/// batch) and the checkpoint layer (one instance per committed chunk)
+/// produce: every float in it is a pure function of the job's params,
+/// so *how* jobs are grouped into ranges cannot change any byte.
+#[derive(Debug, Default)]
+pub(crate) struct MaterializedJobs {
+    pub(crate) summaries: Vec<JobPowerSummary>,
+    pub(crate) series: Vec<Option<JobSeries>>,
+    pub(crate) columns: Vec<f64>,
+    pub(crate) offsets: Vec<usize>,
+}
+
+/// Materializes `jobs[range]` in parallel into `out` (cleared first;
+/// buffers are reused across calls, so the steady-state hot loop stays
+/// allocation-free). Workers write disjoint `split_at_mut` windows of
+/// the flat column; each worker carries one scratch arena.
+pub(crate) fn materialize_range_into(
+    model: &PowerModel,
+    jobs: &[ScheduledJob],
+    params: &[JobPowerParams],
+    instrumented_flags: &[bool],
+    range: std::ops::Range<usize>,
+    telemetry: bool,
+    out: &mut MaterializedJobs,
+) {
+    out.summaries.clear();
+    out.series.clear();
+    out.offsets.clear();
+    out.offsets.push(0);
+    let mut total_minutes = 0usize;
+    for job in &jobs[range.clone()] {
+        total_minutes += (job.end_min - job.start_min) as usize;
+        out.offsets.push(total_minutes);
+    }
+    out.columns.clear();
+    out.columns.resize(total_minutes, 0.0);
+
+    // Carve the column into one disjoint window per job.
+    let mut tasks: Vec<(usize, &mut [f64])> = Vec::with_capacity(range.len());
+    let mut rest = out.columns.as_mut_slice();
+    for (k, i) in range.enumerate() {
+        let (window, tail) = rest.split_at_mut(out.offsets[k + 1] - out.offsets[k]);
+        tasks.push((i, window));
+        rest = tail;
+    }
+
+    // Parallel, order-preserving materialization; each worker allocates
+    // one scratch arena and reuses it for every job in its chunk.
+    let results: Vec<(JobPowerSummary, Option<JobSeries>)> = tasks
+        .into_par_iter()
+        .map_init(
+            || KernelScratch::new(model),
+            |scratch, (i, window)| {
+                let (mut summary, series) = summarize_job_columnar(
+                    model,
+                    &jobs[i],
+                    &params[i],
+                    instrumented_flags[i],
+                    scratch,
+                    window,
+                    telemetry,
+                );
+                summary.id = JobId::from_index(i);
+                let series = series.map(|mut s| {
+                    s.id = JobId::from_index(i);
+                    s
+                });
+                (summary, series)
+            },
+        )
+        .collect();
+    for (summary, series) in results {
+        out.summaries.push(summary);
+        out.series.push(series);
+    }
+}
+
 /// Runs the monitoring pipeline over all scheduled jobs.
 ///
 /// `params[i]` must describe `jobs[i]`. Summaries come back in input
@@ -428,73 +584,29 @@ pub fn monitor(
 ) -> MonitorOutput {
     assert_eq!(jobs.len(), params.len(), "jobs/params must align");
     assert_eq!(jobs.len(), instrumented_flags.len());
-    let horizon = horizon_min as usize;
     let telemetry = hpcpower_obs::enabled();
     let monitor_start = std::time::Instant::now();
 
-    let mut acc = SystemAcc::new(horizon);
+    let mut fold = SystemFold::new(horizon_min, telemetry);
     let mut summaries = Vec::with_capacity(jobs.len());
     let mut instrumented = Vec::new();
-    // Flat per-batch minute-power column, reused across batches. Workers
-    // write disjoint `split_at_mut` windows of it; the offset table maps
-    // job k of the batch to `batch_power[offsets[k]..offsets[k + 1]]`
-    // (the old code shipped a `Vec<(minute, watts, nodes)>` per job —
-    // minute and nodes are derivable from the job, so only watts remain).
-    let mut batch_power: Vec<f64> = Vec::new();
-    let mut offsets: Vec<usize> = Vec::new();
-    // Live power-domain gauges (telemetry only): running peak draw over
-    // every minute touched so far, and the latest in-horizon start
-    // minute — the "now" the instantaneous gauges are probed at.
-    let mut peak_power_w = 0.0f64;
-    let mut probe_minute: Option<usize> = None;
+    // One materialization buffer reused across batches (the offset
+    // table maps job k of the batch to
+    // `columns[offsets[k]..offsets[k + 1]]`), so the steady-state loop
+    // allocates nothing.
+    let mut batch = MaterializedJobs::default();
 
     for batch_start in (0..jobs.len()).step_by(BATCH_JOBS) {
         let batch_end = (batch_start + BATCH_JOBS).min(jobs.len());
-        offsets.clear();
-        offsets.push(0);
-        let mut total_minutes = 0usize;
-        for job in &jobs[batch_start..batch_end] {
-            total_minutes += (job.end_min - job.start_min) as usize;
-            offsets.push(total_minutes);
-        }
-        batch_power.clear();
-        batch_power.resize(total_minutes, 0.0);
-
-        // Carve the column into one disjoint window per job.
-        let mut tasks: Vec<(usize, &mut [f64])> = Vec::with_capacity(batch_end - batch_start);
-        let mut rest = batch_power.as_mut_slice();
-        for (k, i) in (batch_start..batch_end).enumerate() {
-            let (window, tail) = rest.split_at_mut(offsets[k + 1] - offsets[k]);
-            tasks.push((i, window));
-            rest = tail;
-        }
-
-        // Parallel, order-preserving materialization of the batch; each
-        // worker allocates one scratch arena and reuses it for every job
-        // in its chunk.
-        let results: Vec<(JobPowerSummary, Option<JobSeries>)> = tasks
-            .into_par_iter()
-            .map_init(
-                || KernelScratch::new(model),
-                |scratch, (i, window)| {
-                    let (mut summary, series) = summarize_job_columnar(
-                        model,
-                        &jobs[i],
-                        &params[i],
-                        instrumented_flags[i],
-                        scratch,
-                        window,
-                        telemetry,
-                    );
-                    summary.id = JobId::from_index(i);
-                    let series = series.map(|mut s| {
-                        s.id = JobId::from_index(i);
-                        s
-                    });
-                    (summary, series)
-                },
-            )
-            .collect();
+        materialize_range_into(
+            model,
+            jobs,
+            params,
+            instrumented_flags,
+            batch_start..batch_end,
+            telemetry,
+            &mut batch,
+        );
         if telemetry {
             hpcpower_obs::counter_add("sim.kernel.batch_jobs", (batch_end - batch_start) as u64);
             // One temporal-factor fill plus one fused noise/flare row per
@@ -510,49 +622,20 @@ pub fn monitor(
         // Serial fold in job order: the only stage where jobs interact.
         // Addition order is identical to the pre-columnar code — job k's
         // minutes in ascending order, jobs in input order.
-        for (k, (summary, series)) in results.into_iter().enumerate() {
+        for (k, (summary, series)) in batch
+            .summaries
+            .drain(..)
+            .zip(batch.series.drain(..))
+            .enumerate()
+        {
             summaries.push(summary);
             if let Some(s) = series {
                 instrumented.push(s);
             }
-            let job = &jobs[batch_start + k];
-            let start = job.start_min as usize;
-            let nodes = job.request.nodes as u64;
-            let column = &batch_power[offsets[k]..offsets[k + 1]];
-            // In-horizon prefix, added in the same minute order as before
-            // — just without a per-minute bounds check.
-            if start < horizon {
-                let end = (start + column.len()).min(horizon);
-                let span = end - start;
-                for (dst, &power) in acc.power[start..end].iter_mut().zip(&column[..span]) {
-                    *dst += power;
-                }
-                for dst in &mut acc.active[start..end] {
-                    *dst += nodes;
-                }
-                if telemetry {
-                    // Second pass over the band just written: float
-                    // accumulation above is untouched, so enabling
-                    // telemetry cannot perturb the dataset bytes.
-                    for &w in &acc.power[start..end] {
-                        if w > peak_power_w {
-                            peak_power_w = w;
-                        }
-                    }
-                    probe_minute = Some(probe_minute.map_or(start, |m| m.max(start)));
-                }
-            }
+            let column = &batch.columns[batch.offsets[k]..batch.offsets[k + 1]];
+            fold.fold_job(&jobs[batch_start + k], column);
         }
-        if telemetry {
-            if let Some(m) = probe_minute {
-                // Instantaneous cluster draw at the most recently started
-                // minute; later batches refine these as more jobs fold in,
-                // and the last batch's write reflects the full schedule.
-                hpcpower_obs::gauge_set("sim.cluster.power_watts", acc.power[m]);
-                hpcpower_obs::gauge_set("sim.cluster.nodes_busy", acc.active[m] as f64);
-            }
-            hpcpower_obs::gauge_set("sim.cluster.peak_power_watts", peak_power_w);
-        }
+        fold.flush_gauges();
     }
 
     if telemetry {
@@ -567,17 +650,9 @@ pub fn monitor(
         }
     }
 
-    let system_series = (0..horizon)
-        .map(|m| SystemSample {
-            minute: m as u64,
-            active_nodes: acc.active[m] as u32,
-            total_power_w: acc.power[m],
-        })
-        .collect();
-
     MonitorOutput {
         summaries,
-        system_series,
+        system_series: fold.into_system_series(),
         instrumented,
     }
 }

@@ -31,6 +31,7 @@ pub mod ids;
 pub mod index;
 pub mod job;
 pub mod json;
+pub mod recover;
 pub mod repair;
 pub mod series;
 pub mod swf;
@@ -41,6 +42,7 @@ pub use dataset::TraceDataset;
 pub use ids::{AppId, JobId, NodeId, UserId};
 pub use index::{AppRollup, DatasetIndex, UserRollup};
 pub use job::{JobPowerSummary, JobRecord};
+pub use recover::{atomic_write, ArtifactState, ChaosFs, FaultKind, Fs, RealFs};
 pub use repair::{repair, DataQualityReport, RepairConfig, RepairPolicy};
 pub use series::JobSeries;
 pub use system::SystemSpec;

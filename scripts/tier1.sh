@@ -172,4 +172,33 @@ else
     grep -q '"violations_after": 0' "$SMOKE_DIR/quality-report.json"
     echo "fault smoke: quality section present (python3 unavailable)"
 fi
+# Crash-recovery smoke: SIGKILL a checkpointed simulate right after a
+# chunk commit (deterministic chaos hook), resume it at a different
+# thread count, and require the dataset to be byte-identical to an
+# uninterrupted baseline. This is a hard gate: resume identity is the
+# checkpoint layer's whole contract.
+./target/release/hpcpower simulate --system emmy --seed 7 --nodes 24 \
+    --days 2 --users 16 --quiet --threads 2 --out "$SMOKE_DIR/ckpt-base"
+set +e
+./target/release/hpcpower simulate --system emmy --seed 7 --nodes 24 \
+    --days 2 --users 16 --quiet --threads 2 \
+    --checkpoint-dir "$SMOKE_DIR/ckpt-run" --chunk-jobs 8 \
+    --chaos-kill-after-chunk 1 --out "$SMOKE_DIR/ckpt-victim" 2>/dev/null
+rc=$?
+set -e
+[ "$rc" -ne 0 ] || { echo "resume smoke: victim survived the SIGKILL hook" >&2; exit 1; }
+./target/release/hpcpower simulate --resume "$SMOKE_DIR/ckpt-run" \
+    --threads 4 --quiet --out "$SMOKE_DIR/ckpt-resumed"
+cmp -s "$SMOKE_DIR/ckpt-base/dataset.json" "$SMOKE_DIR/ckpt-resumed/dataset.json" \
+    || { echo "resume smoke: resumed dataset differs from the baseline" >&2; exit 1; }
+echo "resume smoke: kill -> resume is byte-identical"
+
+# Chaos matrix, warn-only: the full drill (kill, stall watchdog,
+# enospc/short-write/fsync-fail injection) runs on every pass, but the
+# stall scenario races a wall-clock timeout against a loaded CI box, so
+# a failure warns instead of failing the build. The kill/resume
+# invariant is already hard-gated above.
+./target/release/hpcpower chaos run --dir "$SMOKE_DIR/chaos" \
+    || echo "warning: chaos matrix reported a failure (soft gate, not failing)" >&2
+
 echo "tier1: OK"
