@@ -26,6 +26,13 @@
 //! `index` (dataset index warm-up), `analyze` (machine-readable report),
 //! and `report.render` (text report). The registry is reset before each
 //! run so the spans belong to exactly one configuration.
+//!
+//! Each configuration also carries an `alloc` section — per-stage
+//! `alloc_bytes`/`alloc_count`/`peak_bytes` from the installed
+//! `ProfiledAllocator`, plus the run-wide `peak_bytes` high-water
+//! mark — which `bench diff` gates on alongside wall time (allocation
+//! regressions in the columnar kernel's scratch arenas would otherwise
+//! hide behind flat wall timings).
 
 use std::time::Instant;
 
@@ -34,12 +41,64 @@ use hpcpower::{json_report, report};
 use hpcpower_sim::{simulate, with_threads, SimConfig};
 use serde_json::Value;
 
+// Allocation attribution for the per-stage `alloc` section of the
+// history (bench diff gates on it). Gated: the harness turns profiling
+// on explicitly below.
+#[global_allocator]
+static ALLOC: hpcpower_obs::ProfiledAllocator = hpcpower_obs::ProfiledAllocator;
+
 /// Per-stage wall times extracted from the run's span snapshot.
 struct Stages {
     simulate_s: f64,
     index_s: f64,
     analyze_s: f64,
     report_s: f64,
+}
+
+/// Allocation traffic of one stage: total allocated bytes/count during
+/// the stage plus the high-water live-byte peak reached within it.
+#[derive(Clone, Copy, Default)]
+struct AllocStage {
+    alloc_bytes: u64,
+    alloc_count: u64,
+    peak_bytes: u64,
+}
+
+/// Runs `f` as an allocation-accounting stage: deltas of the process
+/// totals plus a peak re-armed at the stage boundary.
+fn alloc_stage<R>(f: impl FnOnce() -> R) -> (R, AllocStage) {
+    let (c0, b0) = hpcpower_obs::alloc::totals();
+    hpcpower_obs::alloc::reset_peak();
+    let r = f();
+    let (c1, b1) = hpcpower_obs::alloc::totals();
+    (
+        r,
+        AllocStage {
+            alloc_bytes: b1.saturating_sub(b0),
+            alloc_count: c1.saturating_sub(c0),
+            peak_bytes: hpcpower_obs::alloc::peak_bytes(),
+        },
+    )
+}
+
+/// Per-stage allocation traffic of one run configuration.
+#[derive(Clone, Copy, Default)]
+struct AllocStages {
+    simulate: AllocStage,
+    index: AllocStage,
+    analyze: AllocStage,
+    report: AllocStage,
+}
+
+impl AllocStages {
+    /// Highest live-byte peak reached across the run's stages.
+    fn run_peak(&self) -> u64 {
+        self.simulate
+            .peak_bytes
+            .max(self.index.peak_bytes)
+            .max(self.analyze.peak_bytes)
+            .max(self.report.peak_bytes)
+    }
 }
 
 /// `(count, p50_ns, p90_ns, p99_ns, max_ns)` of one span's durations.
@@ -52,6 +111,7 @@ struct Run {
     report_s: f64,
     jobs: usize,
     stages: Stages,
+    alloc: AllocStages,
     quantiles: Vec<(String, SpanQuantiles)>,
 }
 
@@ -77,21 +137,26 @@ fn run_once(cfg: &SimConfig, pcfg: &PredictionConfig, threads: usize) -> Run {
     cfg.threads = threads;
     let threads_used = with_threads(threads, rayon::current_num_threads);
     let t0 = Instant::now();
-    let dataset = simulate(cfg);
+    let (dataset, alloc_simulate) = alloc_stage(|| simulate(cfg));
     let simulate_s = t0.elapsed().as_secs_f64();
     // Warm the memoized dataset index as its own stage, so the `analyze`
     // and `report.render` spans time the analyses rather than the first
     // section's incidental cache build.
-    hpcpower_obs::time("index", || {
-        let _ = dataset.sorted_per_node_powers();
-        let _ = dataset.user_rollups();
-        let _ = dataset.app_rollups();
+    let ((), alloc_index) = alloc_stage(|| {
+        hpcpower_obs::time("index", || {
+            let _ = dataset.sorted_per_node_powers();
+            let _ = dataset.user_rollups();
+            let _ = dataset.app_rollups();
+        })
     });
-    let full = with_threads(threads, || {
-        hpcpower_obs::time("analyze", || json_report::build(&dataset, pcfg))
+    let (full, alloc_analyze) = alloc_stage(|| {
+        with_threads(threads, || {
+            hpcpower_obs::time("analyze", || json_report::build(&dataset, pcfg))
+        })
     });
     let t1 = Instant::now();
-    let text = with_threads(threads, || report::render_full(&dataset, pcfg));
+    let (text, alloc_report) =
+        alloc_stage(|| with_threads(threads, || report::render_full(&dataset, pcfg)));
     let report_s = t1.elapsed().as_secs_f64();
     let snap = hpcpower_obs::snapshot();
     let stages = Stages {
@@ -124,6 +189,12 @@ fn run_once(cfg: &SimConfig, pcfg: &PredictionConfig, threads: usize) -> Run {
         report_s,
         jobs: dataset.len(),
         stages,
+        alloc: AllocStages {
+            simulate: alloc_simulate,
+            index: alloc_index,
+            analyze: alloc_analyze,
+            report: alloc_report,
+        },
         quantiles,
     }
 }
@@ -190,6 +261,24 @@ fn config_json(run: &Run) -> Value {
                 ("report_s", round3(run.stages.report_s)),
             ]),
         ),
+        (
+            "alloc",
+            obj(vec![
+                ("simulate", alloc_stage_json(&run.alloc.simulate)),
+                ("index", alloc_stage_json(&run.alloc.index)),
+                ("analyze", alloc_stage_json(&run.alloc.analyze)),
+                ("report", alloc_stage_json(&run.alloc.report)),
+                ("peak_bytes", Value::UInt(run.alloc.run_peak())),
+            ]),
+        ),
+    ])
+}
+
+fn alloc_stage_json(a: &AllocStage) -> Value {
+    obj(vec![
+        ("alloc_bytes", Value::UInt(a.alloc_bytes)),
+        ("alloc_count", Value::UInt(a.alloc_count)),
+        ("peak_bytes", Value::UInt(a.peak_bytes)),
     ])
 }
 
@@ -255,8 +344,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
 
-    // The stage breakdowns ride on the pipeline's own telemetry spans.
+    // The stage breakdowns ride on the pipeline's own telemetry spans;
+    // the per-stage alloc sections need the allocation gate too (the
+    // wrapper above is inert until this call).
     hpcpower_obs::enable();
+    hpcpower_obs::enable_alloc_profiling();
 
     // Optional live view of the bench: `--serve 127.0.0.1:0` samples the
     // registry every 250 ms and serves /metrics etc. while the runs go.

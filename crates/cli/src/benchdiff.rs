@@ -3,13 +3,17 @@
 //! `BENCH_pipeline.json`.
 //!
 //! Compares the latest run against a baseline run (`--baseline N` runs
-//! earlier, default the previous one), prints a per-stage wall-time
-//! delta table, and — when `--fail-on-regress PCT` is given — exits
-//! with code 3 if the gate metric (`parallel.wall_s`, falling back to
-//! `serial.wall_s` for single-config histories) regressed by more than
-//! PCT percent. Without the flag the diff is informational and always
-//! exits 0, which is how `scripts/tier1.sh` runs it (machines differ;
-//! history entries from other hosts must not fail CI).
+//! earlier, default the previous one), prints per-stage wall-time and
+//! allocation delta tables, and — when `--fail-on-regress PCT` is
+//! given — exits with code 3 if a gate metric regressed by more than
+//! PCT percent. Gates cover wall time (`wall_s`, `simulate_s`,
+//! `analyze_s`) and allocation (`simulate_alloc_bytes`, `peak_bytes`),
+//! each with a parallel→serial path fallback. Without the flag the
+//! diff is informational and always exits 0, which is how
+//! `scripts/tier1.sh` runs it (machines differ; history entries from
+//! other hosts must not fail CI). A missing or sub-2-run history is
+//! not an error either: there is no baseline yet, so the command says
+//! so and exits 0.
 
 use serde_json::Value;
 
@@ -35,8 +39,14 @@ fn run_str(run: &Value, key: &str) -> String {
 
 /// Loads the run history, migrating a legacy single-run document (bare
 /// object with a top-level `"system"` key) to a one-entry history.
-fn load_runs(path: &str) -> Result<Vec<Value>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+/// A missing history file is `Ok(None)` — "no baseline yet" is a
+/// normal state for a fresh checkout, not an error.
+fn load_runs(path: &str) -> Result<Option<Vec<Value>>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read {path}: {e}")),
+    };
     let doc = serde_json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let entries = doc
         .as_object()
@@ -45,9 +55,9 @@ fn load_runs(path: &str) -> Result<Vec<Value>, String> {
         let runs = runs
             .as_array()
             .ok_or_else(|| format!("{path}: 'runs' is not an array"))?;
-        Ok(runs.to_vec())
+        Ok(Some(runs.to_vec()))
     } else if serde_json::find(entries, "system").is_some() {
-        Ok(vec![doc.clone()])
+        Ok(Some(vec![doc.clone()]))
     } else {
         Err(format!("{path}: neither a 'runs' history nor a bare run"))
     }
@@ -67,8 +77,35 @@ const ROWS: &[(&str, &[&str])] = &[
     ("speedup", &["speedup"]),
 ];
 
+/// The `(label, path)` allocation rows of the comparison table, in
+/// MiB. Legacy histories without the `alloc` section simply skip them.
+const ALLOC_ROWS: &[(&str, &[&str])] = &[
+    ("parallel alloc sim MiB", &["parallel", "alloc", "simulate", "alloc_bytes"]),
+    ("parallel alloc analyze MiB", &["parallel", "alloc", "analyze", "alloc_bytes"]),
+    ("parallel peak MiB", &["parallel", "alloc", "peak_bytes"]),
+    ("serial alloc sim MiB", &["serial", "alloc", "simulate", "alloc_bytes"]),
+    ("serial alloc analyze MiB", &["serial", "alloc", "analyze", "alloc_bytes"]),
+    ("serial peak MiB", &["serial", "alloc", "peak_bytes"]),
+];
+
 fn delta_pct(base: f64, new: f64) -> Option<f64> {
     (base > 0.0).then(|| 100.0 * (new - base) / base)
+}
+
+/// Unit of a gate metric — decides how its values print.
+#[derive(Clone, Copy)]
+enum GateUnit {
+    Seconds,
+    Bytes,
+}
+
+impl GateUnit {
+    fn fmt(self, v: f64) -> String {
+        match self {
+            GateUnit::Seconds => format!("{v:.3}s"),
+            GateUnit::Bytes => format!("{:.1}MiB", v / (1024.0 * 1024.0)),
+        }
+    }
 }
 
 /// `hpcpower bench <subcommand>` dispatch. Only `diff` exists today.
@@ -95,10 +132,19 @@ fn cmd_diff(args: &Args) -> Result<(), CliError> {
         }
     }
 
-    let runs = load_runs(path)?;
+    let Some(runs) = load_runs(path)? else {
+        println!(
+            "bench diff: no baseline yet ({path} does not exist); run \
+             `cargo run --release -p hpcpower-bench --bin pipeline` to record one"
+        );
+        return Ok(());
+    };
     let n = runs.len();
     if n < 2 {
-        println!("bench diff: {path} has {n} run(s); nothing to compare");
+        println!(
+            "bench diff: no baseline yet ({path} has {n} run(s), need 2); run \
+             `cargo run --release -p hpcpower-bench --bin pipeline` to record more"
+        );
         return Ok(());
     }
     let latest = &runs[n - 1];
@@ -130,18 +176,36 @@ fn cmd_diff(args: &Args) -> Result<(), CliError> {
             None => println!("  {label:<22} {b:>10.3} {l:>10.3}      n/a"),
         }
     }
+    for (label, mpath) in ALLOC_ROWS {
+        let (Some(b), Some(l)) = (metric(baseline, mpath), metric(latest, mpath)) else {
+            continue;
+        };
+        const MIB: f64 = 1024.0 * 1024.0;
+        match delta_pct(b, l) {
+            Some(d) => {
+                println!("  {label:<22} {:>10.1} {:>10.1} {d:>+7.1}%", b / MIB, l / MIB)
+            }
+            None => println!("  {label:<22} {:>10.1} {:>10.1}      n/a", b / MIB, l / MIB),
+        }
+    }
 
     // Gate on end-to-end wall time AND the per-stage kernels: a hot-loop
     // regression can hide inside an otherwise-flat wall_s when another
     // stage got faster, so simulate_s and analyze_s are first-class gate
     // metrics, each with a serial-history fallback.
-    let gates: &[(&str, &[&[&str]])] = &[
+    // Allocation totals are gate metrics too: a bytes regression is a
+    // perf regression that wall time may hide behind allocator reuse
+    // (PR 5's scratch arenas exist precisely to keep them flat). Runs
+    // predating the alloc section skip those gates via the find_map.
+    let gates: &[(&str, GateUnit, &[&[&str]])] = &[
         (
             "wall_s",
+            GateUnit::Seconds,
             &[&["parallel", "wall_s"], &["serial", "wall_s"]],
         ),
         (
             "simulate_s",
+            GateUnit::Seconds,
             &[
                 &["parallel", "stages", "simulate_s"],
                 &["serial", "stages", "simulate_s"],
@@ -149,9 +213,26 @@ fn cmd_diff(args: &Args) -> Result<(), CliError> {
         ),
         (
             "analyze_s",
+            GateUnit::Seconds,
             &[
                 &["parallel", "stages", "analyze_s"],
                 &["serial", "stages", "analyze_s"],
+            ],
+        ),
+        (
+            "simulate_alloc_bytes",
+            GateUnit::Bytes,
+            &[
+                &["parallel", "alloc", "simulate", "alloc_bytes"],
+                &["serial", "alloc", "simulate", "alloc_bytes"],
+            ],
+        ),
+        (
+            "peak_bytes",
+            GateUnit::Bytes,
+            &[
+                &["parallel", "alloc", "peak_bytes"],
+                &["serial", "alloc", "peak_bytes"],
             ],
         ),
     ];
@@ -170,7 +251,7 @@ fn cmd_diff(args: &Args) -> Result<(), CliError> {
     let mut gated_any = false;
     let mut regressed: Vec<String> = Vec::new();
     println!();
-    for (name, paths) in gates {
+    for (name, unit, paths) in gates {
         let Some((label, base, latest_v)) = paths.iter().find_map(|p| {
             Some((p.join("."), metric(baseline, p)?, metric(latest, p)?))
         }) else {
@@ -179,7 +260,11 @@ fn cmd_diff(args: &Args) -> Result<(), CliError> {
         gated_any = true;
         match delta_pct(base, latest_v) {
             Some(d) => {
-                println!("gate {label}: {base:.3}s -> {latest_v:.3}s ({d:+.1}%)");
+                println!(
+                    "gate {label}: {} -> {} ({d:+.1}%)",
+                    unit.fmt(base),
+                    unit.fmt(latest_v)
+                );
                 if let Some(limit) = fail_pct {
                     if d > limit && comparable_hosts {
                         regressed.push(format!("{name} ({label}) {d:+.1}% > {limit}%"));

@@ -15,7 +15,14 @@ mod benchdiff;
 mod chaos;
 mod errors;
 mod live;
+mod profile;
 mod watchdog;
+
+// Allocation attribution for --profile-out. The wrapper's gate is off
+// by default, so every command that doesn't ask for profiling pays one
+// relaxed atomic load per allocator call (see hpcpower_obs::alloc).
+#[global_allocator]
+static ALLOC: hpcpower_obs::ProfiledAllocator = hpcpower_obs::ProfiledAllocator;
 
 use std::fs::File;
 use std::io::BufReader;
@@ -59,6 +66,14 @@ GLOBAL FLAGS:
   --log-format FMT   Print a telemetry summary to stderr after the
                      command: 'text' (aligned table) or 'json' (one
                      JSON object per metric).
+  --profile-out PATH[,FMT]  Continuously profile the command: record
+                     the span timeline plus per-span allocation
+                     attribution and write a profile to PATH. FMT is
+                     'folded' (collapsed stacks), 'svg' (self-contained
+                     flamegraph), or 'speedscope' (JSON for
+                     speedscope.app); default inferred from the
+                     extension (.svg/.json), else folded. Command
+                     output bytes are unaffected.
   --quiet            Suppress progress and telemetry chatter on stderr
                      (stdout and --metrics-out files are unaffected).
   --serve ADDR       Serve live telemetry over HTTP while the command
@@ -145,12 +160,23 @@ COMMANDS:
              --metrics PATH         document(s) to replay (required)
              --alert R | --rules P  rules (at least one required)
              --json                 print engine state as JSON
+  profile report  Top-N self-time/self-bytes table of a profile written
+             by --profile-out (folded or speedscope; SVG is render-only)
+             --profile PATH         profile to read (required)
+             --top N                rows to show (default 15)
+  profile diff  Compare two profiles path-by-path, hottest movers first
+             --a PATH --b PATH      profiles to compare (required)
+             --top N                rows to show (default 15)
   bench diff Perf-regression gate over the BENCH_pipeline.json history
              --bench PATH           (default BENCH_pipeline.json)
              --baseline N           compare against N runs before the
                                     latest (default 1)
-             --fail-on-regress PCT  exit 3 if parallel wall time
-                                    regressed more than PCT percent
+             --fail-on-regress PCT  exit 3 if a gate metric (wall time,
+                                    per-stage time, allocated or peak
+                                    bytes) regressed more than PCT
+                                    percent; exits 0 with a \"no
+                                    baseline yet\" note when the history
+                                    has fewer than two runs
   chaos run  Deterministic crash/fault drills asserting the recovery
              invariants (kill-resume byte identity, watchdog exit 6,
              no unquarantined torn artifacts)
@@ -519,16 +545,38 @@ fn check_csv(path: &Path) -> Result<usize, String> {
 }
 
 /// Telemetry options parsed from the global flags. Telemetry is enabled
-/// iff `--metrics-out`, `--trace-out`, or `--log-format` is given;
-/// otherwise every instrumentation point in the pipeline stays on its
-/// disabled fast path. The event timeline has a second gate on top and
-/// only records when `--trace-out` asks for it.
+/// iff `--metrics-out`, `--trace-out`, `--log-format`, or
+/// `--profile-out` is given; otherwise every instrumentation point in
+/// the pipeline stays on its disabled fast path. The event timeline has
+/// a second gate on top and only records when `--trace-out` or
+/// `--profile-out` asks for it; the allocation gate is opened by
+/// `--profile-out` alone.
 struct Telemetry {
     metrics_out: Option<PathBuf>,
     metrics_format: hpcpower_obs::MetricsFormat,
     trace_out: Option<PathBuf>,
+    profile_out: Option<(PathBuf, hpcpower_obs::ProfileFormat)>,
     log_format: Option<hpcpower_obs::LogFormat>,
     quiet: bool,
+}
+
+/// Parses `--profile-out PATH[,folded|svg|speedscope]`. A trailing
+/// comma-separated token must be a known format name; without one the
+/// format is inferred from the path's extension.
+fn parse_profile_out(raw: &str) -> Result<(PathBuf, hpcpower_obs::ProfileFormat), String> {
+    if raw.is_empty() {
+        return Err("--profile-out needs a PATH".into());
+    }
+    if let Some((path, fmt)) = raw.rsplit_once(',') {
+        let format = fmt
+            .parse::<hpcpower_obs::ProfileFormat>()
+            .map_err(|e| format!("--profile-out: {e}"))?;
+        if path.is_empty() {
+            return Err("--profile-out needs a PATH before the format".into());
+        }
+        return Ok((PathBuf::from(path), format));
+    }
+    Ok((PathBuf::from(raw), hpcpower_obs::ProfileFormat::infer(raw)))
 }
 
 impl Telemetry {
@@ -540,28 +588,71 @@ impl Telemetry {
             .transpose()?
             .unwrap_or_default();
         let trace_out = args.get("trace-out").map(PathBuf::from);
+        let profile_out = args
+            .get("profile-out")
+            .map(parse_profile_out)
+            .transpose()?;
         let log_format = args
             .get("log-format")
             .map(|s| s.parse::<hpcpower_obs::LogFormat>())
             .transpose()?;
-        if metrics_out.is_none() && trace_out.is_none() && log_format.is_none() {
+        if metrics_out.is_none()
+            && trace_out.is_none()
+            && profile_out.is_none()
+            && log_format.is_none()
+        {
             return Ok(None);
         }
         Ok(Some(Self {
             metrics_out,
             metrics_format,
             trace_out,
+            profile_out,
             log_format,
             quiet: args.has("quiet"),
         }))
     }
 
     fn wants_timeline(&self) -> bool {
-        self.trace_out.is_some()
+        self.trace_out.is_some() || self.profile_out.is_some()
     }
 
-    /// Writes the metrics/trace files and/or prints the stderr summary.
+    fn wants_alloc_profiling(&self) -> bool {
+        self.profile_out.is_some()
+    }
+
+    /// Writes the profile/metrics/trace files and/or prints the stderr
+    /// summary. The profile graph is built (and its `obs.profile.*`
+    /// meta-gauges recorded) before the metrics snapshot is taken, so
+    /// the snapshot describes the profile it ships with.
     fn emit(&self) -> Result<(), String> {
+        if let Some((path, format)) = &self.profile_out {
+            let timeline = hpcpower_obs::timeline_snapshot();
+            let mut graph = hpcpower_obs::ProfileGraph::from_timeline(&timeline);
+            if hpcpower_obs::alloc_profiling_enabled() {
+                graph.attach_alloc(&hpcpower_obs::alloc_snapshot());
+            }
+            hpcpower_obs::gauge_set("obs.profile.nodes", graph.nodes.len() as f64);
+            hpcpower_obs::gauge_set("obs.profile.events", graph.events as f64);
+            hpcpower_obs::gauge_set("obs.profile.threads", graph.threads as f64);
+            hpcpower_obs::gauge_set(
+                "obs.profile.orphan_events",
+                (graph.orphan_begins + graph.orphan_ends) as f64,
+            );
+            hpcpower_obs::gauge_set(
+                "obs.profile.dropped_events",
+                graph.dropped_events as f64,
+            );
+            if graph.dropped_events > 0 && !self.quiet {
+                eprintln!(
+                    "warning: timeline ring wrapped, {} oldest events dropped before \
+                     profiling (raise HPCPOWER_OBS_TIMELINE_CAPACITY to keep more)",
+                    graph.dropped_events
+                );
+            }
+            std::fs::write(path, hpcpower_obs::render_profile(&graph, *format))
+                .map_err(|e| format!("cannot write profile to {}: {e}", path.display()))?;
+        }
         let snap = hpcpower_obs::snapshot();
         if let Some(path) = &self.metrics_out {
             std::fs::write(path, hpcpower_obs::render_metrics(&snap, self.metrics_format))
@@ -596,6 +687,9 @@ fn main() {
         if t.wants_timeline() {
             hpcpower_obs::enable_timeline();
         }
+        if t.wants_alloc_profiling() {
+            hpcpower_obs::enable_alloc_profiling();
+        }
     }
     // Global --serve: live sampler + HTTP endpoint riding the command.
     let live = live::LiveService::from_args(&args).unwrap_or_else(|e| fail(e));
@@ -626,6 +720,7 @@ fn main() {
         Some("predict") => hpcpower_obs::time("predict", || cmd_predict(&args)),
         Some("powercap") => hpcpower_obs::time("powercap", || cmd_powercap(&args)),
         Some("bench") => benchdiff::cmd_bench(&args),
+        Some("profile") => profile::cmd_profile(&args),
         Some("obs") => live::cmd_obs(&args),
         Some("alerts") => live::cmd_alerts(&args),
         Some("chaos") => chaos::cmd_chaos(&args),

@@ -57,7 +57,9 @@
 #![warn(clippy::all)]
 
 pub mod alerts;
+pub mod alloc;
 pub mod export;
+pub mod profile;
 pub mod registry;
 pub mod retry;
 pub mod sampler;
@@ -75,6 +77,10 @@ use std::time::Instant;
 use hpcpower_stats::Summary;
 
 pub use alerts::{AlertEngine, AlertKind, AlertOp, AlertRule, AlertState};
+pub use alloc::{AllocSnapshot, ProfiledAllocator, SlotSnapshot};
+pub use profile::{
+    render_profile, FlatEntry, FlatProfile, ProfileFormat, ProfileGraph, ProfileNode,
+};
 pub use registry::{Histogram, Registry, SUBBUCKETS_PER_OCTAVE};
 pub use retry::{http_get_retry, is_transient, retry_io, RetryPolicy};
 pub use sampler::Sampler;
@@ -158,6 +164,33 @@ pub fn disable_sampling() {
     store::global_store().set_enabled(false);
 }
 
+/// Whether the installed [`ProfiledAllocator`] is attributing
+/// allocation traffic (default: off). Without a `#[global_allocator]`
+/// install the gate is inert either way.
+#[inline]
+pub fn alloc_profiling_enabled() -> bool {
+    alloc::is_enabled()
+}
+
+/// Turns allocation profiling on (see [`alloc`] for the attribution
+/// model). Only has an observable effect in binaries that installed
+/// [`ProfiledAllocator`] as the `#[global_allocator]`.
+pub fn enable_alloc_profiling() {
+    alloc::set_enabled(true);
+}
+
+/// Turns allocation profiling off. Stats recorded so far are kept
+/// until [`reset`].
+pub fn disable_alloc_profiling() {
+    alloc::set_enabled(false);
+}
+
+/// Takes a consistent copy of the allocation-profiling totals and
+/// per-call-path slot stats.
+pub fn alloc_snapshot() -> AllocSnapshot {
+    alloc::snapshot()
+}
+
 /// Ingests one registry snapshot into the global window store right
 /// now (what a sampler tick does). No-op when sampling is disabled —
 /// the disabled cost is one relaxed atomic load.
@@ -215,11 +248,13 @@ pub fn uptime_seconds() -> f64 {
 }
 
 /// Clears every counter, gauge, histogram, and span aggregate, the
-/// recorded timeline events, and the window store's series.
+/// recorded timeline events, the window store's series, and the
+/// allocation-profiling stats.
 pub fn reset() {
     global().reset();
     timeline::global_timeline().reset();
     store::global_store().reset();
+    alloc::reset();
 }
 
 /// Takes a deterministic (name-sorted) snapshot of the registry.
@@ -231,6 +266,15 @@ pub fn snapshot() -> Snapshot {
     let mut snap = global().snapshot();
     if global().is_enabled() {
         snap.set_gauge("obs.process.uptime_seconds", uptime_seconds());
+        if alloc::is_enabled() {
+            let a = alloc::snapshot();
+            snap.set_counter("obs.alloc.allocations", a.alloc_count);
+            snap.set_counter("obs.alloc.allocated_bytes", a.alloc_bytes);
+            snap.set_counter("obs.alloc.deallocations", a.dealloc_count);
+            snap.set_counter("obs.alloc.freed_bytes", a.dealloc_bytes);
+            snap.set_gauge("obs.alloc.current_bytes", a.current_bytes as f64);
+            snap.set_gauge("obs.alloc.peak_bytes", a.peak_bytes as f64);
+        }
     }
     snap.build_info = build_info().cloned();
     snap

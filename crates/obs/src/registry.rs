@@ -177,6 +177,9 @@ struct SpanAgg {
     total_ns: u64,
     min_ns: u64,
     max_ns: u64,
+    /// Wall time spent inside child spans — folded in by the children
+    /// as they complete, so `total_ns − child_ns` is self time.
+    child_ns: u64,
     parent: Option<String>,
     /// Distribution of observed durations (nanoseconds).
     durations: Histogram,
@@ -294,6 +297,14 @@ impl Registry {
         agg.count += 1;
         agg.total_ns += nanos;
         agg.durations.record(nanos as f64);
+        // Credit this duration to the parent's child time so the
+        // parent's self time excludes it. The parent entry may not
+        // exist yet (children complete first); `or_default` is safe
+        // because the `count == 0` branch above still initializes
+        // min/max/parent when the parent's own first observation lands.
+        if let Some(parent) = parent {
+            spans.entry(parent.to_string()).or_default().child_ns += nanos;
+        }
     }
 
     /// Clears every metric (the enabled flag is left as is).
@@ -322,12 +333,17 @@ impl Registry {
                 .collect(),
             spans: lock(&self.spans)
                 .iter()
+                // An entry with no completed observation exists only to
+                // hold child time for a still-open parent; it has no
+                // min/max/quantiles to report yet.
+                .filter(|(_, a)| a.count > 0)
                 .map(|(k, a)| {
                     (
                         k.clone(),
                         SpanStats {
                             count: a.count,
                             total_ns: a.total_ns,
+                            self_ns: a.total_ns.saturating_sub(a.child_ns),
                             min_ns: a.min_ns,
                             max_ns: a.max_ns,
                             p50_ns: a.durations.quantile(0.50),

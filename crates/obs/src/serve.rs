@@ -417,14 +417,19 @@ fn healthz_body(state: &ServeState) -> String {
             .status_counts(),
         None => (0, 0),
     };
+    let alloc = crate::alloc::snapshot();
     format!(
         "{{\n  \"status\": \"ok\",\n  \"uptime_seconds\": {},\n  \"samples\": {},\n  \
          \"window_dropped\": {},\n  \"timeline_dropped\": {},\n  \"rows_quarantined\": {quarantined},\n  \
-         \"alerts_firing\": {firing},\n  \"alerts_pending\": {pending}\n}}\n",
+         \"alerts_firing\": {firing},\n  \"alerts_pending\": {pending},\n  \
+         \"profiling\": {{\"timeline\": {}, \"alloc\": {}, \"alloc_peak_bytes\": {}}}\n}}\n",
         crate::snapshot::json_f64(crate::uptime_seconds()),
         store.samples(),
         store.dropped(),
         crate::timeline_snapshot().dropped,
+        crate::timeline_enabled(),
+        alloc.enabled,
+        alloc.peak_bytes,
     )
 }
 

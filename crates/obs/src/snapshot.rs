@@ -15,6 +15,9 @@ pub struct SpanStats {
     pub count: u64,
     /// Total wall time, nanoseconds.
     pub total_ns: u64,
+    /// Self wall time, nanoseconds: total minus the time completed
+    /// child spans reported (so a pure dispatcher span shows ~0).
+    pub self_ns: u64,
     /// Shortest observation, nanoseconds.
     pub min_ns: u64,
     /// Longest observation, nanoseconds.
@@ -171,6 +174,16 @@ impl Snapshot {
         match self.gauges.binary_search_by(|(k, _)| k.as_str().cmp(name)) {
             Ok(i) => self.gauges[i].1 = value,
             Err(i) => self.gauges.insert(i, (name.to_string(), value)),
+        }
+    }
+
+    /// Sets (or replaces) the counter `name`, keeping the vector
+    /// name-sorted — used to inject derived counters like the
+    /// `obs.alloc.*` totals, which live outside the registry.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        match self.counters.binary_search_by(|(k, _)| k.as_str().cmp(name)) {
+            Ok(i) => self.counters[i].1 = value,
+            Err(i) => self.counters.insert(i, (name.to_string(), value)),
         }
     }
 
@@ -462,6 +475,13 @@ impl Snapshot {
                 SpanStats {
                     count: u64_field(s, "count")?,
                     total_ns: u64_field(s, "total_ns")?,
+                    // Absent in pre-profiling documents; treat as
+                    // "no child time reported".
+                    self_ns: serde_json::find(s, "self_ns")
+                        .and_then(|v| v.as_u64())
+                        .unwrap_or_else(|| {
+                            serde_json::find(s, "total_ns").and_then(|v| v.as_u64()).unwrap_or(0)
+                        }),
                     min_ns: u64_field(s, "min_ns")?,
                     max_ns: u64_field(s, "max_ns")?,
                     p50_ns: f64_field(s, "p50_ns")?,
@@ -485,10 +505,11 @@ fn span_fields(s: &SpanStats) -> String {
         None => "null".to_string(),
     };
     format!(
-        "\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+        "\"count\":{},\"total_ns\":{},\"self_ns\":{},\"min_ns\":{},\"max_ns\":{},\
          \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"total_s\":{},\"parent\":{}",
         s.count,
         s.total_ns,
+        s.self_ns,
         s.min_ns,
         s.max_ns,
         json_f64(s.p50_ns),

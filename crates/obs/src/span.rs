@@ -48,6 +48,9 @@ struct LiveSpan {
     span_id: u64,
     parent: Option<String>,
     parent_id: Option<u64>,
+    /// Allocation slot to restore on drop, when the allocation gate
+    /// was on at entry (see [`crate::alloc`]).
+    prev_alloc_slot: Option<u32>,
     start: Instant,
 }
 
@@ -77,12 +80,20 @@ impl SpanGuard {
             }
         });
         timeline::global_timeline().record(EventKind::Begin, name, span_id, parent_id);
+        // With the allocation gate on, this span becomes the innermost
+        // attribution scope until it drops.
+        let prev_alloc_slot = if crate::alloc::is_enabled() {
+            Some(crate::alloc::enter_scope(name))
+        } else {
+            None
+        };
         SpanGuard {
             live: Some(LiveSpan {
                 name: name.to_string(),
                 span_id,
                 parent,
                 parent_id,
+                prev_alloc_slot,
                 start: Instant::now(),
             }),
         }
@@ -105,6 +116,9 @@ impl Drop for SpanGuard {
             return;
         };
         let elapsed_ns = live.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        if let Some(prev) = live.prev_alloc_slot {
+            crate::alloc::restore_scope(prev);
+        }
         SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
             // Guards drop in LIFO order within a thread, so the top of

@@ -426,6 +426,40 @@ fn linter_accepts_escaped_label_values() {
     lint_prometheus(text).unwrap_or_else(|e| panic!("escaped value must lint: {e}"));
 }
 
+/// The profiler's meta-metrics (`obs.alloc.*`, `obs.profile.*`) ride
+/// the normal export path: dotted names must sanitize into the
+/// Prometheus charset and the document must lint clean.
+#[test]
+fn prometheus_exports_profiler_meta_metrics() {
+    let r = Registry::new();
+    r.set_enabled(true);
+    r.counter_add("obs.alloc.allocations", 1234);
+    r.counter_add("obs.alloc.allocated_bytes", 1 << 20);
+    r.gauge_set("obs.alloc.peak_bytes", 524_288.0);
+    r.gauge_set("obs.profile.nodes", 17.0);
+    r.gauge_set("obs.profile.orphan_events", 0.0);
+    let text = prometheus(&r.snapshot());
+    lint_prometheus(&text).unwrap_or_else(|e| panic!("lint failed: {e}\n---\n{text}"));
+    assert!(text.contains("# TYPE obs_alloc_allocations_total counter"));
+    assert!(text.contains("obs_alloc_allocated_bytes_total 1048576"));
+    assert!(text.contains("# TYPE obs_profile_nodes gauge"));
+    assert!(text.contains("obs_profile_nodes 17"));
+    // HELP comments echo the original dotted name; the sample lines
+    // themselves must be fully sanitized.
+    assert!(
+        text.lines().filter(|l| !l.starts_with('#')).all(|l| !l.contains("obs.")),
+        "dots must not survive sanitization in sample lines:\n{text}"
+    );
+}
+
+/// ...and the linter genuinely rejects the unsanitized form, so the
+/// positive case above is load-bearing.
+#[test]
+fn linter_rejects_dotted_profiler_metric_names() {
+    let text = "# TYPE obs.alloc.peak_bytes gauge\nobs.alloc.peak_bytes 1\n";
+    assert!(lint_prometheus(text).is_err(), "dotted name must fail the charset check");
+}
+
 // ------------------------------------------------------------ build info
 
 /// The build-info gauge rides HELP/label escaping end-to-end: hostile

@@ -94,6 +94,15 @@ fn healthz_reports_uptime_and_counters() {
     for k in ["samples", "window_dropped", "timeline_dropped", "alerts_firing", "alerts_pending"] {
         assert!(field(k).as_u64().is_some(), "{k} must be an integer");
     }
+    // The profiler gates report their state so operators can see at a
+    // glance whether a run is carrying profiling overhead.
+    let profiling = field("profiling").as_object().expect("profiling is an object");
+    let gate = |k: &str| {
+        serde_json::find(profiling, k).unwrap_or_else(|| panic!("missing profiling.{k}"))
+    };
+    assert!(gate("timeline").as_bool().is_some(), "timeline gate is a bool");
+    assert!(gate("alloc").as_bool().is_some(), "alloc gate is a bool");
+    assert!(gate("alloc_peak_bytes").as_u64().is_some());
 }
 
 #[test]

@@ -15,6 +15,11 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+// Route this binary's heap traffic through the profiling wrapper so the
+// disabled-gate cost below measures the real deployment configuration.
+#[global_allocator]
+static ALLOC: hpcpower_obs::ProfiledAllocator = hpcpower_obs::ProfiledAllocator;
+
 const ITERS: u64 = 200_000;
 const TRIALS: usize = 7;
 const MAX_RATIO: f64 = 200.0;
@@ -163,4 +168,52 @@ fn disabled_sampling_is_nearly_free() {
     assert!(window.series.is_empty(), "disabled sampling must record nothing");
     assert_eq!(window.samples, 0);
     assert_eq!(window.dropped, 0);
+}
+
+/// The allocation-profiling wrapper rides the same contract: with its
+/// gate off (the default), every `alloc`/`dealloc` through
+/// `ProfiledAllocator` must add one relaxed atomic load over the
+/// system allocator — and must record nothing.
+#[test]
+fn disabled_alloc_profiling_is_nearly_free() {
+    use std::alloc::{GlobalAlloc, Layout, System};
+
+    assert!(
+        !hpcpower_obs::alloc_profiling_enabled(),
+        "allocation profiling must be off by default for this test to measure the disabled path"
+    );
+
+    let layout = Layout::from_size_align(256, 8).unwrap();
+    // Baseline: the system allocator called directly, bypassing the
+    // wrapper. An alloc/dealloc pair is far from a no-op, so the ratio
+    // bound on top of it is comfortably structural.
+    let direct = per_op_ns(best_time(|_| unsafe {
+        let p = System.alloc(layout);
+        black_box(p);
+        System.dealloc(p, layout);
+    }))
+    .max(0.05);
+    // The same pair through the installed wrapper (this binary's global
+    // allocator), gate off.
+    let wrapped = per_op_ns(best_time(|i| {
+        let b = Box::new(black_box([i; 32]));
+        black_box(&b);
+    }));
+
+    eprintln!("disabled alloc profiling: direct {direct:.2} ns/op, wrapped {wrapped:.2}");
+    let ratio = wrapped / direct;
+    assert!(
+        ratio <= MAX_RATIO,
+        "disabled ProfiledAllocator costs {wrapped:.2} ns/op = {ratio:.0}x a direct \
+         system alloc/dealloc pair (bound {MAX_RATIO}x); did the fast path grow a \
+         lock/slot lookup in front of the enabled check?"
+    );
+
+    // And with the gate off, the wrapper must have recorded nothing —
+    // despite every allocation in this binary flowing through it.
+    assert_eq!(hpcpower_obs::alloc::totals(), (0, 0));
+    let snap = hpcpower_obs::alloc_snapshot();
+    assert!(!snap.enabled);
+    assert_eq!(snap.alloc_count, 0);
+    assert_eq!(snap.peak_bytes, 0);
 }

@@ -76,6 +76,40 @@ grep -q '^# TYPE sim_jobs_placed_total counter$' "$SMOKE_DIR/metrics.prom"
 grep -q '^# TYPE simulate_cmd_seconds summary$' "$SMOKE_DIR/metrics.prom"
 echo "obs smoke: prometheus exposition present"
 
+# Profiling smoke: --profile-out must leave the dataset byte-identical,
+# emit a non-empty folded profile rooted at the simulate span, and a
+# well-formed flamegraph SVG; `profile report` must read the result.
+./target/release/hpcpower simulate --system emmy --seed 3 \
+    --nodes 24 --days 2 --users 10 --quiet \
+    --out "$SMOKE_DIR/trace3" --profile-out "$SMOKE_DIR/profile.folded"
+cmp -s "$SMOKE_DIR/trace/dataset.json" "$SMOKE_DIR/trace3/dataset.json" \
+    || { echo "profile smoke: profiling changed dataset bytes" >&2; exit 1; }
+[ -s "$SMOKE_DIR/profile.folded" ] \
+    || { echo "profile smoke: folded profile is empty" >&2; exit 1; }
+grep -q '^simulate' "$SMOKE_DIR/profile.folded" \
+    || { echo "profile smoke: folded stacks not rooted at simulate" >&2; exit 1; }
+./target/release/hpcpower simulate --system emmy --seed 3 \
+    --nodes 24 --days 2 --users 10 --quiet \
+    --out "$SMOKE_DIR/trace4" --profile-out "$SMOKE_DIR/flame.svg"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SMOKE_DIR/flame.svg" <<'EOF'
+import sys, xml.etree.ElementTree as ET
+root = ET.parse(sys.argv[1]).getroot()
+assert root.tag.endswith("svg"), f"root element is {root.tag}"
+rects = root.iter("{http://www.w3.org/2000/svg}rect")
+assert sum(1 for _ in rects) > 0, "flamegraph has no frames"
+print("profile smoke: flamegraph SVG well-formed")
+EOF
+else
+    grep -q '^<svg ' "$SMOKE_DIR/flame.svg"
+    grep -q '</svg>' "$SMOKE_DIR/flame.svg"
+    echo "profile smoke: flamegraph SVG present (python3 unavailable)"
+fi
+./target/release/hpcpower profile report --profile "$SMOKE_DIR/profile.folded" \
+    --top 5 | grep -q 'simulate' \
+    || { echo "profile smoke: report does not list the simulate path" >&2; exit 1; }
+echo "profile smoke: folded + SVG + report OK"
+
 # Live-telemetry smoke: re-render the collected document, lint it, then
 # serve it on an ephemeral port and check /metrics is byte-for-byte the
 # rendered exposition and /healthz answers.
@@ -135,11 +169,16 @@ CRITERION_QUICK=1 cargo bench -q -p hpcpower-bench --bench pipeline
 # Perf-regression gate, warn-only: the committed history's runs come
 # from different machines, so a slower CI box must not fail the build —
 # but the diff itself has to parse the history and compute deltas.
-if [ -f BENCH_pipeline.json ]; then
-    ./target/release/hpcpower bench diff --bench BENCH_pipeline.json \
-        --fail-on-regress 20 \
-        || echo "warning: bench diff reported a regression (soft gate, not failing)" >&2
+# With no history yet, seed a baseline (small run) so the next pass has
+# something to diff against; `bench diff` itself degrades to a clear
+# "no baseline yet" message rather than failing.
+if [ ! -f BENCH_pipeline.json ]; then
+    echo "bench: no history, seeding a --small baseline"
+    cargo run -q --release -p hpcpower-bench --bin pipeline -- --small
 fi
+./target/release/hpcpower bench diff --bench BENCH_pipeline.json \
+    --fail-on-regress 20 \
+    || echo "warning: bench diff reported a regression (soft gate, not failing)" >&2
 
 # Fault-injection smoke: a dirty trace must round-trip through
 # ingest-with-repair and then analyze cleanly, with a data-quality
