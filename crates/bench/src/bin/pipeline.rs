@@ -23,8 +23,10 @@
 //!
 //! Stage-level breakdowns (`stages`) come from the `hpcpower-obs` spans
 //! the pipeline itself records: `simulate` (trace materialization),
-//! `index` (dataset index warm-up), `analyze` (machine-readable report),
-//! and `report.render` (text report). The registry is reset before each
+//! `ingest` (chunk-parallel CSV ingestion of the freshly written trace;
+//! bytes/s and rows/s land in the run's `ingest` section), `index`
+//! (dataset index warm-up), `analyze` (machine-readable report), and
+//! `report.render` (text report). The registry is reset before each
 //! run so the spans belong to exactly one configuration.
 //!
 //! Each configuration also carries an `alloc` section — per-stage
@@ -50,6 +52,7 @@ static ALLOC: hpcpower_obs::ProfiledAllocator = hpcpower_obs::ProfiledAllocator;
 /// Per-stage wall times extracted from the run's span snapshot.
 struct Stages {
     simulate_s: f64,
+    ingest_s: f64,
     index_s: f64,
     analyze_s: f64,
     report_s: f64,
@@ -85,6 +88,7 @@ fn alloc_stage<R>(f: impl FnOnce() -> R) -> (R, AllocStage) {
 #[derive(Clone, Copy, Default)]
 struct AllocStages {
     simulate: AllocStage,
+    ingest: AllocStage,
     index: AllocStage,
     analyze: AllocStage,
     report: AllocStage,
@@ -95,6 +99,7 @@ impl AllocStages {
     fn run_peak(&self) -> u64 {
         self.simulate
             .peak_bytes
+            .max(self.ingest.peak_bytes)
             .max(self.index.peak_bytes)
             .max(self.analyze.peak_bytes)
             .max(self.report.peak_bytes)
@@ -110,6 +115,8 @@ struct Run {
     simulate_s: f64,
     report_s: f64,
     jobs: usize,
+    ingest_bytes: usize,
+    ingest_rows: usize,
     stages: Stages,
     alloc: AllocStages,
     quantiles: Vec<(String, SpanQuantiles)>,
@@ -139,6 +146,33 @@ fn run_once(cfg: &SimConfig, pcfg: &PredictionConfig, threads: usize) -> Run {
     let t0 = Instant::now();
     let (dataset, alloc_simulate) = alloc_stage(|| simulate(cfg));
     let simulate_s = t0.elapsed().as_secs_f64();
+    // Ingest stage: round-trip the freshly simulated trace through the
+    // CSV tables and time the chunk-parallel ingestion engine on the
+    // bytes (the CSV *writing* stays outside the span — the stage gates
+    // the reader).
+    let mut jobs_csv = Vec::new();
+    hpcpower_trace::csv::write_jobs(&mut jobs_csv, &dataset.jobs, &dataset.summaries)
+        .expect("serialize jobs.csv");
+    let mut system_csv = Vec::new();
+    hpcpower_trace::csv::write_system(&mut system_csv, &dataset.system_series)
+        .expect("serialize system.csv");
+    let jobs_text = String::from_utf8(jobs_csv).expect("jobs.csv is UTF-8");
+    let system_text = String::from_utf8(system_csv).expect("system.csv is UTF-8");
+    let ingest_bytes = jobs_text.len() + system_text.len();
+    let opts = hpcpower_trace::csv::ParseOptions::strict();
+    let ((jobs_table, system_table), alloc_ingest) = alloc_stage(|| {
+        with_threads(threads, || {
+            hpcpower_obs::time("ingest", || {
+                let jt = hpcpower_trace::read_jobs_str(&jobs_text, opts).expect("ingest jobs");
+                let st =
+                    hpcpower_trace::read_system_str(&system_text, opts).expect("ingest system");
+                (jt, st)
+            })
+        })
+    });
+    assert_eq!(jobs_table.jobs.len(), dataset.jobs.len(), "ingest row count");
+    let ingest_rows = jobs_table.jobs.len() + system_table.samples.len();
+    drop((jobs_table, system_table, jobs_text, system_text));
     // Warm the memoized dataset index as its own stage, so the `analyze`
     // and `report.render` spans time the analyses rather than the first
     // section's incidental cache build.
@@ -161,6 +195,7 @@ fn run_once(cfg: &SimConfig, pcfg: &PredictionConfig, threads: usize) -> Run {
     let snap = hpcpower_obs::snapshot();
     let stages = Stages {
         simulate_s: span_secs(&snap, "simulate"),
+        ingest_s: span_secs(&snap, "ingest"),
         index_s: span_secs(&snap, "index"),
         analyze_s: span_secs(&snap, "analyze"),
         report_s: span_secs(&snap, "report.render"),
@@ -177,7 +212,14 @@ fn run_once(cfg: &SimConfig, pcfg: &PredictionConfig, threads: usize) -> Run {
         .collect();
     eprintln!(
         "  threads={threads} ({threads_used} workers): simulate {simulate_s:.2}s, \
-         report {report_s:.2}s ({} jobs, {} report bytes, {} analyses)",
+         ingest {:.3}s ({:.1} MB/s), report {report_s:.2}s \
+         ({} jobs, {} report bytes, {} analyses)",
+        stages.ingest_s,
+        if stages.ingest_s > 0.0 {
+            ingest_bytes as f64 / stages.ingest_s / 1e6
+        } else {
+            0.0
+        },
         dataset.len(),
         text.len(),
         usize::from(full.prediction.is_some()) + usize::from(full.powercap.is_some())
@@ -188,9 +230,12 @@ fn run_once(cfg: &SimConfig, pcfg: &PredictionConfig, threads: usize) -> Run {
         simulate_s,
         report_s,
         jobs: dataset.len(),
+        ingest_bytes,
+        ingest_rows,
         stages,
         alloc: AllocStages {
             simulate: alloc_simulate,
+            ingest: alloc_ingest,
             index: alloc_index,
             analyze: alloc_analyze,
             report: alloc_report,
@@ -256,15 +301,40 @@ fn config_json(run: &Run) -> Value {
             "stages",
             obj(vec![
                 ("simulate_s", round3(run.stages.simulate_s)),
+                ("ingest_s", round3(run.stages.ingest_s)),
                 ("index_s", round3(run.stages.index_s)),
                 ("analyze_s", round3(run.stages.analyze_s)),
                 ("report_s", round3(run.stages.report_s)),
             ]),
         ),
         (
+            "ingest",
+            obj(vec![
+                ("bytes", Value::UInt(run.ingest_bytes as u64)),
+                ("rows", Value::UInt(run.ingest_rows as u64)),
+                (
+                    "bytes_per_s",
+                    Value::Num(if run.stages.ingest_s > 0.0 {
+                        (run.ingest_bytes as f64 / run.stages.ingest_s).round()
+                    } else {
+                        0.0
+                    }),
+                ),
+                (
+                    "rows_per_s",
+                    Value::Num(if run.stages.ingest_s > 0.0 {
+                        (run.ingest_rows as f64 / run.stages.ingest_s).round()
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ),
+        (
             "alloc",
             obj(vec![
                 ("simulate", alloc_stage_json(&run.alloc.simulate)),
+                ("ingest", alloc_stage_json(&run.alloc.ingest)),
                 ("index", alloc_stage_json(&run.alloc.index)),
                 ("analyze", alloc_stage_json(&run.alloc.analyze)),
                 ("report", alloc_stage_json(&run.alloc.report)),

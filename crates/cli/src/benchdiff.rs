@@ -7,8 +7,9 @@
 //! allocation delta tables, and — when `--fail-on-regress PCT` is
 //! given — exits with code 3 if a gate metric regressed by more than
 //! PCT percent. Gates cover wall time (`wall_s`, `simulate_s`,
-//! `analyze_s`) and allocation (`simulate_alloc_bytes`, `peak_bytes`),
-//! each with a parallel→serial path fallback. Without the flag the
+//! `analyze_s`, `ingest_s`) and allocation (`simulate_alloc_bytes`,
+//! `peak_bytes`), each with a parallel→serial path fallback; runs
+//! predating a stage (e.g. `ingest_s` before PR 10) skip that gate. Without the flag the
 //! diff is informational and always exits 0, which is how
 //! `scripts/tier1.sh` runs it (machines differ; history entries from
 //! other hosts must not fail CI). A missing or sub-2-run history is
@@ -67,11 +68,13 @@ fn load_runs(path: &str) -> Result<Option<Vec<Value>>, String> {
 const ROWS: &[(&str, &[&str])] = &[
     ("parallel.wall_s", &["parallel", "wall_s"]),
     ("parallel.simulate_s", &["parallel", "stages", "simulate_s"]),
+    ("parallel.ingest_s", &["parallel", "stages", "ingest_s"]),
     ("parallel.index_s", &["parallel", "stages", "index_s"]),
     ("parallel.analyze_s", &["parallel", "stages", "analyze_s"]),
     ("parallel.report_s", &["parallel", "stages", "report_s"]),
     ("serial.wall_s", &["serial", "wall_s"]),
     ("serial.simulate_s", &["serial", "stages", "simulate_s"]),
+    ("serial.ingest_s", &["serial", "stages", "ingest_s"]),
     ("serial.analyze_s", &["serial", "stages", "analyze_s"]),
     ("serial.report_s", &["serial", "stages", "report_s"]),
     ("speedup", &["speedup"]),
@@ -217,6 +220,16 @@ fn cmd_diff(args: &Args) -> Result<(), CliError> {
             &[
                 &["parallel", "stages", "analyze_s"],
                 &["serial", "stages", "analyze_s"],
+            ],
+        ),
+        // Ingestion is a first-class gated stage since PR 10; legacy
+        // runs without it skip the gate via the find_map below.
+        (
+            "ingest_s",
+            GateUnit::Seconds,
+            &[
+                &["parallel", "stages", "ingest_s"],
+                &["serial", "stages", "ingest_s"],
             ],
         ),
         (

@@ -5,10 +5,13 @@
 //! * `jobs.csv` — one row per job: accounting record + power summary.
 //! * `system.csv` — one row per minute: active nodes and total power.
 //!
-//! Writers/readers are hand-rolled (the schema is fixed and purely
-//! numeric, so a CSV dependency would be overkill) and stream through
-//! `BufRead`/`Write` so multi-hundred-MB traces do not need to fit in a
-//! string.
+//! Writers/readers are hand-rolled (the schema is fixed and mostly
+//! numeric, so a CSV dependency would be overkill). Since PR 10 the
+//! readers buffer the input once and hand it to the chunk-parallel
+//! zero-copy engine in [`crate::ingest`]; the legacy line-by-line
+//! implementation survives under `#[cfg(test)]` (see [`self`] tests'
+//! `oracle` module) as the parity oracle the engine is proven
+//! byte-identical against.
 //!
 //! ## Strict vs. lenient ingestion
 //!
@@ -26,7 +29,6 @@
 use std::io::{BufRead, Write};
 
 use crate::dataset::SystemSample;
-use crate::ids::{AppId, JobId, UserId};
 use crate::job::{JobPowerSummary, JobRecord};
 use crate::{Result, TraceError};
 
@@ -116,6 +118,13 @@ pub struct JobsTable {
     pub summaries: Vec<JobPowerSummary>,
     /// Rows refused by the parser.
     pub quarantined: Vec<QuarantinedRow>,
+    /// Interned user names in dense-id order when the `user_id` column
+    /// held symbolic names; empty for all-numeric files (the historical
+    /// format), where ids are the literal cell values.
+    pub user_names: Vec<String>,
+    /// Interned application names in dense-id order; empty for
+    /// all-numeric files.
+    pub app_names: Vec<String>,
 }
 
 /// Outcome of a lenient system-table parse.
@@ -231,84 +240,18 @@ pub fn write_jobs<W: Write>(
     Ok(())
 }
 
-/// Parses one data row of `jobs.csv`. Errors carry the 1-based field
-/// column of the offending cell.
-fn parse_jobs_row(lineno: usize, line: &str) -> Result<(JobRecord, JobPowerSummary)> {
-    let fields: Vec<&str> = line.split(',').collect();
-    if fields.len() != 16 {
-        return Err(TraceError::parse_at(
-            lineno,
-            fields.len().min(16),
-            format!("expected 16 fields, got {}", fields.len()),
-        ));
-    }
-    let perr =
-        |k: usize, what: &str| TraceError::parse_at(lineno, k + 1, format!("bad {what}"));
-    let u64_at = |k: usize, what: &str| fields[k].parse::<u64>().map_err(|_| perr(k, what));
-    let u32_at = |k: usize, what: &str| fields[k].parse::<u32>().map_err(|_| perr(k, what));
-    let f64_at = |k: usize, what: &str| fields[k].parse::<f64>().map_err(|_| perr(k, what));
-    let id = JobId(u32_at(0, "job_id")?);
-    let record = JobRecord {
-        id,
-        user: UserId(u32_at(1, "user_id")?),
-        app: AppId(u32_at(2, "app_id")?),
-        submit_min: u64_at(3, "submit_min")?,
-        start_min: u64_at(4, "start_min")?,
-        end_min: u64_at(5, "end_min")?,
-        nodes: u32_at(6, "nodes")?,
-        walltime_req_min: u64_at(7, "walltime_req_min")?,
-    };
-    let summary = JobPowerSummary {
-        id,
-        per_node_power_w: f64_at(8, "per_node_power_w")?,
-        energy_wmin: f64_at(9, "energy_wmin")?,
-        peak_overshoot: f64_at(10, "peak_overshoot")?,
-        frac_time_above_10pct: f64_at(11, "frac_time_above_10pct")?,
-        temporal_cv: f64_at(12, "temporal_cv")?,
-        avg_spatial_spread_w: f64_at(13, "avg_spatial_spread_w")?,
-        frac_time_spread_above_avg: f64_at(14, "frac_time_spread_above_avg")?,
-        energy_imbalance: f64_at(15, "energy_imbalance")?,
-    };
-    Ok((record, summary))
-}
-
 /// Reads a jobs table under the given [`ParseOptions`].
 ///
 /// In lenient mode, malformed rows and rows re-using an already-seen
 /// job id are quarantined instead of aborting the parse.
-pub fn read_jobs_with<R: BufRead>(r: R, opts: ParseOptions) -> Result<JobsTable> {
-    let mut out = JobsTable::default();
-    let mut quarantine = Quarantine::new(opts);
-    let mut seen_ids = std::collections::HashSet::new();
-    let mut lines = r.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| TraceError::parse(1, "empty file"))?;
-    let header = header?;
-    if header.trim() != JOBS_HEADER {
-        return Err(TraceError::parse(1, format!("unexpected header: {header}")));
-    }
-    for (i, line) in lines {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let lineno = i + 1;
-        match parse_jobs_row(lineno, &line) {
-            Ok((record, summary)) => {
-                if !seen_ids.insert(record.id) {
-                    quarantine.push(
-                        TraceError::parse_at(lineno, 1, format!("duplicate {}", record.id)),
-                        &line,
-                    )?;
-                    continue;
-                }
-                out.jobs.push(record);
-                out.summaries.push(summary);
-            }
-            Err(e) => quarantine.push(e, &line)?,
-        }
-    }
-    out.quarantined = quarantine.into_rows();
-    Ok(out)
+///
+/// The input is buffered once and parsed by the chunk-parallel engine
+/// ([`crate::ingest::read_jobs_str`]); results are identical to the
+/// historical serial parse at any thread count.
+pub fn read_jobs_with<R: BufRead>(mut r: R, opts: ParseOptions) -> Result<JobsTable> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    crate::ingest::read_jobs_str(&text, opts)
 }
 
 /// Reads a jobs table written by [`write_jobs`] (strict mode).
@@ -326,53 +269,14 @@ pub fn write_system<W: Write>(w: &mut W, series: &[SystemSample]) -> Result<()> 
     Ok(())
 }
 
-/// Parses one data row of `system.csv`.
-fn parse_system_row(lineno: usize, line: &str) -> Result<SystemSample> {
-    let fields: Vec<&str> = line.split(',').collect();
-    if fields.len() != 3 {
-        return Err(TraceError::parse_at(
-            lineno,
-            fields.len().min(3),
-            format!("expected 3 fields, got {}", fields.len()),
-        ));
-    }
-    let minute = fields[0]
-        .parse()
-        .map_err(|_| TraceError::parse_at(lineno, 1, "bad minute"))?;
-    let active_nodes = fields[1]
-        .parse()
-        .map_err(|_| TraceError::parse_at(lineno, 2, "bad active_nodes"))?;
-    let total_power_w = fields[2]
-        .parse()
-        .map_err(|_| TraceError::parse_at(lineno, 3, "bad total_power_w"))?;
-    Ok(SystemSample {
-        minute,
-        active_nodes,
-        total_power_w,
-    })
-}
-
 /// Reads a system table under the given [`ParseOptions`].
-pub fn read_system_with<R: BufRead>(r: R, opts: ParseOptions) -> Result<SystemTable> {
-    let mut out = SystemTable::default();
-    let mut quarantine = Quarantine::new(opts);
-    let mut lines = r.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| TraceError::parse(1, "empty file"))?;
-    if header?.trim() != SYSTEM_HEADER {
-        return Err(TraceError::parse(1, "unexpected header"));
-    }
-    for (i, line) in lines {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        match parse_system_row(i + 1, &line) {
-            Ok(sample) => out.samples.push(sample),
-            Err(e) => quarantine.push(e, &line)?,
-        }
-    }
-    out.quarantined = quarantine.into_rows();
-    Ok(out)
+///
+/// Buffered once, then parsed by the chunk-parallel engine
+/// ([`crate::ingest::read_system_str`]).
+pub fn read_system_with<R: BufRead>(mut r: R, opts: ParseOptions) -> Result<SystemTable> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    crate::ingest::read_system_str(&text, opts)
 }
 
 /// Reads a system table written by [`write_system`] (strict mode).
@@ -380,9 +284,149 @@ pub fn read_system<R: BufRead>(r: R) -> Result<Vec<SystemSample>> {
     read_system_with(r, ParseOptions::strict()).map(|t| t.samples)
 }
 
+/// The pre-engine serial readers, retained **verbatim** as the parity
+/// oracle for the chunk-parallel engine (the same discipline as PR 5's
+/// scalar simulate kernel). Production code must never call these; the
+/// engine's tests prove it produces byte-identical tables, quarantine
+/// lists, and first errors.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::*;
+    use crate::ids::{AppId, JobId, UserId};
+
+    /// Parses one data row of `jobs.csv`. Errors carry the 1-based
+    /// field column of the offending cell.
+    fn parse_jobs_row(lineno: usize, line: &str) -> Result<(JobRecord, JobPowerSummary)> {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 16 {
+            return Err(TraceError::parse_at(
+                lineno,
+                fields.len().min(16),
+                format!("expected 16 fields, got {}", fields.len()),
+            ));
+        }
+        let perr =
+            |k: usize, what: &str| TraceError::parse_at(lineno, k + 1, format!("bad {what}"));
+        let u64_at = |k: usize, what: &str| fields[k].parse::<u64>().map_err(|_| perr(k, what));
+        let u32_at = |k: usize, what: &str| fields[k].parse::<u32>().map_err(|_| perr(k, what));
+        let f64_at = |k: usize, what: &str| fields[k].parse::<f64>().map_err(|_| perr(k, what));
+        let id = JobId(u32_at(0, "job_id")?);
+        let record = JobRecord {
+            id,
+            user: UserId(u32_at(1, "user_id")?),
+            app: AppId(u32_at(2, "app_id")?),
+            submit_min: u64_at(3, "submit_min")?,
+            start_min: u64_at(4, "start_min")?,
+            end_min: u64_at(5, "end_min")?,
+            nodes: u32_at(6, "nodes")?,
+            walltime_req_min: u64_at(7, "walltime_req_min")?,
+        };
+        let summary = JobPowerSummary {
+            id,
+            per_node_power_w: f64_at(8, "per_node_power_w")?,
+            energy_wmin: f64_at(9, "energy_wmin")?,
+            peak_overshoot: f64_at(10, "peak_overshoot")?,
+            frac_time_above_10pct: f64_at(11, "frac_time_above_10pct")?,
+            temporal_cv: f64_at(12, "temporal_cv")?,
+            avg_spatial_spread_w: f64_at(13, "avg_spatial_spread_w")?,
+            frac_time_spread_above_avg: f64_at(14, "frac_time_spread_above_avg")?,
+            energy_imbalance: f64_at(15, "energy_imbalance")?,
+        };
+        Ok((record, summary))
+    }
+
+    /// Serial line-by-line jobs reader (the pre-engine
+    /// `read_jobs_with`).
+    pub(crate) fn read_jobs_with<R: BufRead>(r: R, opts: ParseOptions) -> Result<JobsTable> {
+        let mut out = JobsTable::default();
+        let mut quarantine = Quarantine::new(opts);
+        let mut seen_ids = std::collections::HashSet::new();
+        let mut lines = r.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| TraceError::parse(1, "empty file"))?;
+        let header = header?;
+        if header.trim() != JOBS_HEADER {
+            return Err(TraceError::parse(1, format!("unexpected header: {header}")));
+        }
+        for (i, line) in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let lineno = i + 1;
+            match parse_jobs_row(lineno, &line) {
+                Ok((record, summary)) => {
+                    if !seen_ids.insert(record.id) {
+                        quarantine.push(
+                            TraceError::parse_at(lineno, 1, format!("duplicate {}", record.id)),
+                            &line,
+                        )?;
+                        continue;
+                    }
+                    out.jobs.push(record);
+                    out.summaries.push(summary);
+                }
+                Err(e) => quarantine.push(e, &line)?,
+            }
+        }
+        out.quarantined = quarantine.into_rows();
+        Ok(out)
+    }
+
+    /// Parses one data row of `system.csv`.
+    fn parse_system_row(lineno: usize, line: &str) -> Result<SystemSample> {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 3 {
+            return Err(TraceError::parse_at(
+                lineno,
+                fields.len().min(3),
+                format!("expected 3 fields, got {}", fields.len()),
+            ));
+        }
+        let minute = fields[0]
+            .parse()
+            .map_err(|_| TraceError::parse_at(lineno, 1, "bad minute"))?;
+        let active_nodes = fields[1]
+            .parse()
+            .map_err(|_| TraceError::parse_at(lineno, 2, "bad active_nodes"))?;
+        let total_power_w = fields[2]
+            .parse()
+            .map_err(|_| TraceError::parse_at(lineno, 3, "bad total_power_w"))?;
+        Ok(SystemSample {
+            minute,
+            active_nodes,
+            total_power_w,
+        })
+    }
+
+    /// Serial line-by-line system reader (the pre-engine
+    /// `read_system_with`).
+    pub(crate) fn read_system_with<R: BufRead>(r: R, opts: ParseOptions) -> Result<SystemTable> {
+        let mut out = SystemTable::default();
+        let mut quarantine = Quarantine::new(opts);
+        let mut lines = r.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| TraceError::parse(1, "empty file"))?;
+        if header?.trim() != SYSTEM_HEADER {
+            return Err(TraceError::parse(1, "unexpected header"));
+        }
+        for (i, line) in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_system_row(i + 1, &line) {
+                Ok(sample) => out.samples.push(sample),
+                Err(e) => quarantine.push(e, &line)?,
+            }
+        }
+        out.quarantined = quarantine.into_rows();
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::{AppId, JobId, UserId};
     use std::io::BufReader;
 
     fn sample_rows() -> (Vec<JobRecord>, Vec<JobPowerSummary>) {

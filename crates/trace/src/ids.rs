@@ -4,6 +4,14 @@
 //! indices wrapped in newtypes so they cannot be confused with each other
 //! or with counts. Dense indices double as direct array offsets in the
 //! simulator and analyses.
+//!
+//! Raw field traces address users and applications by *name*
+//! (`alice`, `gromacs`), not by dense index; the [`Interner`] maps each
+//! distinct name to a dense `u32` in first-appearance order, so ingested
+//! records store ids instead of owned `String`s and the name table is
+//! stored exactly once.
+
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +74,68 @@ id_type!(
     "app-"
 );
 
+/// Deduplicating string → dense-id table for user and application
+/// names.
+///
+/// Ids are assigned in **first-appearance order**: interning the same
+/// sequence of names always yields the same ids, which is what lets the
+/// parallel ingestion engine resolve per-chunk name references in
+/// deterministic chunk order and still match a serial parse exactly.
+///
+/// Each distinct name is stored once (`names`); the lookup map borrows
+/// nothing from callers, so interning a `&str` allocates only on the
+/// first sighting of a name.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    map: HashMap<Box<str>, u32>,
+    names: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the dense id for `name`, assigning the next id on first
+    /// sight.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow: > u32::MAX names");
+        let owned: Box<str> = name.into();
+        self.names.push(owned.clone());
+        self.map.insert(owned, id);
+        id
+    }
+
+    /// The id of `name` if it has been interned, without assigning one.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.map.get(name).copied()
+    }
+
+    /// The name behind a dense id.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_ref())
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name table in id order, consuming the interner.
+    pub fn into_names(self) -> Vec<String> {
+        self.names.into_iter().map(String::from).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +166,31 @@ mod tests {
         assert_eq!(s, "9");
         let u: UserId = serde_json::from_str("9").unwrap();
         assert_eq!(u, UserId(9));
+    }
+
+    #[test]
+    fn interner_assigns_first_appearance_order() {
+        let mut t = Interner::new();
+        assert_eq!(t.intern("alice"), 0);
+        assert_eq!(t.intern("bob"), 1);
+        assert_eq!(t.intern("alice"), 0, "re-intern is a lookup");
+        assert_eq!(t.intern("carol"), 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.resolve(1), Some("bob"));
+        assert_eq!(t.resolve(3), None);
+        assert_eq!(t.get("carol"), Some(2));
+        assert_eq!(t.get("dave"), None);
+        assert_eq!(t.into_names(), vec!["alice", "bob", "carol"]);
+    }
+
+    #[test]
+    fn interner_is_deterministic_for_a_fixed_sequence() {
+        let seq = ["x", "y", "x", "z", "y", "w"];
+        let ids = |names: &[&str]| {
+            let mut t = Interner::new();
+            names.iter().map(|n| t.intern(n)).collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&seq), ids(&seq));
+        assert_eq!(ids(&seq), vec![0, 1, 0, 2, 1, 3]);
     }
 }

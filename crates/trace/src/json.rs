@@ -4,7 +4,7 @@
 //! JSON carries the full nested dataset (including instrumented series
 //! and the system spec) for archival and for the figure harnesses.
 
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::dataset::TraceDataset;
@@ -27,9 +27,25 @@ pub fn save_dataset(path: &Path, dataset: &TraceDataset) -> Result<()> {
 }
 
 /// Reads a dataset from a JSON file.
+///
+/// The analyze/report load path: the file is read **once** into a
+/// single buffer (the same single-read discipline as the
+/// [`crate::ingest`] engine) and decoded from memory, with
+/// `trace.ingest.*` byte/throughput telemetry recorded when the obs
+/// gate is on.
 pub fn load_dataset(path: &Path) -> Result<TraceDataset> {
-    let file = std::fs::File::open(path)?;
-    read_dataset(BufReader::new(file))
+    hpcpower_obs::time("trace.ingest.dataset_json", || {
+        let started = std::time::Instant::now();
+        let text = std::fs::read_to_string(path)?;
+        let dataset: TraceDataset =
+            serde_json::from_str(&text).map_err(|e| TraceError::Invalid(e.to_string()))?;
+        hpcpower_obs::counter_add("trace.ingest.bytes", text.len() as u64);
+        let secs = started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            hpcpower_obs::gauge_set("trace.ingest.bytes_per_s", text.len() as f64 / secs);
+        }
+        Ok(dataset)
+    })
 }
 
 #[cfg(test)]

@@ -27,8 +27,10 @@
 
 pub mod csv;
 pub mod dataset;
+pub mod fastfloat;
 pub mod ids;
 pub mod index;
+pub mod ingest;
 pub mod job;
 pub mod json;
 pub mod recover;
@@ -39,7 +41,8 @@ pub mod system;
 pub mod validate;
 
 pub use dataset::TraceDataset;
-pub use ids::{AppId, JobId, NodeId, UserId};
+pub use ids::{AppId, Interner, JobId, NodeId, UserId};
+pub use ingest::{read_jobs_str, read_swf_str, read_system_str};
 pub use index::{AppRollup, DatasetIndex, UserRollup};
 pub use job::{JobPowerSummary, JobRecord};
 pub use recover::{atomic_write, ArtifactState, ChaosFs, FaultKind, Fs, RealFs};

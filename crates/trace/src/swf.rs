@@ -18,9 +18,9 @@
 
 use std::io::{BufRead, Write};
 
-use crate::csv::{ParseOptions, Quarantine, QuarantinedRow};
+use crate::csv::{ParseOptions, QuarantinedRow};
 use crate::dataset::TraceDataset;
-use crate::{Result, TraceError};
+use crate::Result;
 
 /// Writes the dataset's jobs as SWF.
 pub fn write_swf<W: Write>(w: &mut W, dataset: &TraceDataset) -> Result<()> {
@@ -84,57 +84,76 @@ pub struct SwfTable {
     pub quarantined: Vec<QuarantinedRow>,
 }
 
-/// Parses one SWF data line. Errors carry the 1-based field column.
-fn parse_swf_row(lineno: usize, trimmed: &str) -> Result<SwfJob> {
-    let fields: Vec<&str> = trimmed.split_whitespace().collect();
-    if fields.len() < 18 {
-        return Err(TraceError::parse_at(
-            lineno,
-            fields.len().min(18),
-            format!("SWF needs 18 fields, got {}", fields.len()),
-        ));
-    }
-    let parse_u64 = |k: usize, what: &str| -> Result<u64> {
-        let v: i64 = fields[k]
-            .parse()
-            .map_err(|_| TraceError::parse_at(lineno, k + 1, format!("bad {what}")))?;
-        Ok(v.max(0) as u64)
-    };
-    Ok(SwfJob {
-        id: parse_u64(0, "job id")?,
-        submit_s: parse_u64(1, "submit")?,
-        wait_s: parse_u64(2, "wait")?,
-        runtime_s: parse_u64(3, "runtime")?,
-        procs: parse_u64(4, "procs")? as u32,
-        time_req_s: parse_u64(8, "time request")?,
-        user: parse_u64(11, "user")? as u32,
-    })
-}
-
 /// Parses the subset of SWF this crate writes (and any archive file with
 /// the standard 18 columns) under the given [`ParseOptions`]. Comment
 /// lines (`;`) are skipped.
-pub fn read_swf_with<R: BufRead>(r: R, opts: ParseOptions) -> Result<SwfTable> {
-    let mut out = SwfTable::default();
-    let mut quarantine = Quarantine::new(opts);
-    for (lineno, line) in r.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with(';') {
-            continue;
-        }
-        match parse_swf_row(lineno + 1, trimmed) {
-            Ok(job) => out.jobs.push(job),
-            Err(e) => quarantine.push(e, trimmed)?,
-        }
-    }
-    out.quarantined = quarantine.into_rows();
-    Ok(out)
+///
+/// Buffered once, then parsed by the chunk-parallel engine
+/// ([`crate::ingest::read_swf_str`]).
+pub fn read_swf_with<R: BufRead>(mut r: R, opts: ParseOptions) -> Result<SwfTable> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    crate::ingest::read_swf_str(&text, opts)
 }
 
 /// Strict-mode SWF read: fails fast on the first malformed line.
 pub fn read_swf<R: BufRead>(r: R) -> Result<Vec<SwfJob>> {
     read_swf_with(r, ParseOptions::strict()).map(|t| t.jobs)
+}
+
+/// The pre-engine serial SWF reader, retained **verbatim** as the
+/// parity oracle for the chunk-parallel engine. Test-only.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::*;
+    use crate::csv::Quarantine;
+    use crate::TraceError;
+
+    /// Parses one SWF data line. Errors carry the 1-based field column.
+    fn parse_swf_row(lineno: usize, trimmed: &str) -> Result<SwfJob> {
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 18 {
+            return Err(TraceError::parse_at(
+                lineno,
+                fields.len().min(18),
+                format!("SWF needs 18 fields, got {}", fields.len()),
+            ));
+        }
+        let parse_u64 = |k: usize, what: &str| -> Result<u64> {
+            let v: i64 = fields[k]
+                .parse()
+                .map_err(|_| TraceError::parse_at(lineno, k + 1, format!("bad {what}")))?;
+            Ok(v.max(0) as u64)
+        };
+        Ok(SwfJob {
+            id: parse_u64(0, "job id")?,
+            submit_s: parse_u64(1, "submit")?,
+            wait_s: parse_u64(2, "wait")?,
+            runtime_s: parse_u64(3, "runtime")?,
+            procs: parse_u64(4, "procs")? as u32,
+            time_req_s: parse_u64(8, "time request")?,
+            user: parse_u64(11, "user")? as u32,
+        })
+    }
+
+    /// Serial line-by-line SWF reader (the pre-engine `read_swf_with`).
+    pub(crate) fn read_swf_with<R: BufRead>(r: R, opts: ParseOptions) -> Result<SwfTable> {
+        let mut out = SwfTable::default();
+        let mut quarantine = Quarantine::new(opts);
+        for (lineno, line) in r.lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with(';') {
+                continue;
+            }
+            match parse_swf_row(lineno + 1, trimmed) {
+                Ok(job) => out.jobs.push(job),
+                Err(e) => quarantine.push(e, trimmed)?,
+            }
+        }
+        out.quarantined = quarantine.into_rows();
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

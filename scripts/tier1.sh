@@ -11,6 +11,11 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings \
     -D clippy::needless_collect -D clippy::redundant_clone
+# The ingest engine is supposed to be zero-copy on the happy path: deny
+# needless owned-string churn in the trace crate specifically.
+cargo clippy -p hpcpower-trace --all-targets -- -D warnings \
+    -D clippy::needless_collect -D clippy::redundant_clone \
+    -D clippy::unnecessary_to_owned
 
 # Observability smoke: a real CLI run with --metrics-out must emit a
 # parseable metrics document containing the required span timings and
@@ -211,6 +216,26 @@ else
     grep -q '"violations_after": 0' "$SMOKE_DIR/quality-report.json"
     echo "fault smoke: quality section present (python3 unavailable)"
 fi
+# Parallel-ingest determinism smoke: the chunked engine must produce
+# byte-identical outputs at any thread count — dataset, quality report,
+# and the quarantine diagnostics — including on the dirty fixture where
+# rows actually quarantine.
+./target/release/hpcpower ingest --jobs "$SMOKE_DIR/dirty/jobs.csv" \
+    --system "$SMOKE_DIR/dirty/system.csv" --nodes 16 --lenient \
+    --repair-policy hold-last --threads 1 \
+    --out "$SMOKE_DIR/ingest-t1" > "$SMOKE_DIR/ingest-t1.out" 2>&1
+./target/release/hpcpower ingest --jobs "$SMOKE_DIR/dirty/jobs.csv" \
+    --system "$SMOKE_DIR/dirty/system.csv" --nodes 16 --lenient \
+    --repair-policy hold-last --threads 4 \
+    --out "$SMOKE_DIR/ingest-t4" > "$SMOKE_DIR/ingest-t4.out" 2>&1
+cmp -s "$SMOKE_DIR/ingest-t1/dataset.json" "$SMOKE_DIR/ingest-t4/dataset.json" \
+    || { echo "ingest smoke: dataset differs across thread counts" >&2; exit 1; }
+cmp -s "$SMOKE_DIR/ingest-t1/quality.json" "$SMOKE_DIR/ingest-t4/quality.json" \
+    || { echo "ingest smoke: quality report differs across thread counts" >&2; exit 1; }
+cmp -s "$SMOKE_DIR/ingest-t1.out" "$SMOKE_DIR/ingest-t4.out" \
+    || { echo "ingest smoke: diagnostics differ across thread counts" >&2; exit 1; }
+echo "ingest smoke: threads 1 vs 4 byte-identical"
+
 # Crash-recovery smoke: SIGKILL a checkpointed simulate right after a
 # chunk commit (deterministic chaos hook), resume it at a different
 # thread count, and require the dataset to be byte-identical to an
